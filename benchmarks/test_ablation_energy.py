@@ -1,0 +1,81 @@
+"""Ablation bench: energy proxy for the WASP-TMA efficiency claim.
+
+Section III-E argues hardware address generation "reduces energy
+consumption"; this bench quantifies the claim with the counts-based
+energy model on the offload-friendly benchmarks.
+"""
+
+from dataclasses import replace
+
+from benchmarks.conftest import emit
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.experiments.reporting import format_table, geomean
+from repro.fexec import run_kernel
+from repro.sim.config import wasp_gpu
+from repro.sim.energy import simulate_with_energy
+from repro.workloads import get_benchmark
+
+OFFLOAD_BENCHMARKS = ["pointnet", "curobo", "lonestar_bfs",
+                      "lonestar_mst", "lonestar_sp"]
+
+
+class _Result:
+    def __init__(self, rows):
+        self.rows = rows
+
+    def to_text(self):
+        return format_table(
+            ["Benchmark", "Kernel", "Issue+RF energy ratio",
+             "Total energy ratio"],
+            self.rows,
+            title="Ablation: WASP-TMA energy vs software address "
+                  "generation (lower is better)",
+        )
+
+
+def _kernel_energy(kernel, options):
+    compiled = WaspCompiler(options).compile(
+        kernel.program, num_warps=kernel.launch.num_warps
+    )
+    if not compiled.specialized:
+        return None
+    launch = replace(
+        kernel.launch,
+        num_warps=kernel.launch.num_warps * compiled.num_stages,
+    )
+    traces = run_kernel(
+        compiled.program, kernel.image_factory(), launch
+    ).traces
+    _, energy = simulate_with_energy(traces, wasp_gpu())
+    return energy
+
+
+def test_tma_energy_reduction(benchmark, bench_scale):
+    software = WaspCompilerOptions(enable_tma_offload=False)
+    hardware = WaspCompilerOptions()
+
+    def run():
+        rows = []
+        for name in OFFLOAD_BENCHMARKS:
+            bench = get_benchmark(name, bench_scale)
+            kernel = bench.kernels[0]
+            e_soft = _kernel_energy(kernel, software)
+            e_tma = _kernel_energy(kernel, hardware)
+            if e_soft is None or e_tma is None:
+                continue
+            core_ratio = (e_tma.issue + e_tma.register_file) / (
+                e_soft.issue + e_soft.register_file
+            )
+            total_ratio = e_tma.total / e_soft.total
+            rows.append(
+                [name, kernel.name, f"{core_ratio:.2f}",
+                 f"{total_ratio:.2f}"]
+            )
+        return _Result(rows)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(result)
+    assert result.rows
+    core_ratios = [float(r[2]) for r in result.rows]
+    # Offloading must cut issue/register-file energy on these kernels.
+    assert geomean(core_ratios) < 0.75

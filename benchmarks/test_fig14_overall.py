@@ -1,0 +1,19 @@
+"""Bench: regenerate Figure 14 (overall speedup, four configurations)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig14
+from repro.experiments.reporting import geomean
+
+
+def test_fig14_overall_speedup(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig14.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    emit(result)
+    means = dict(zip(result.config_names, result.geomeans()))
+    # Paper shape: BASELINE <= TILE <= ALL <= WASP_GPU, with the full
+    # WASP GPU delivering a large mean speedup (paper: 1.47x).
+    assert means["WASP_COMPILER_TILE"] >= 0.999
+    assert means["WASP_COMPILER_ALL"] >= means["WASP_COMPILER_TILE"] - 0.01
+    assert means["WASP_GPU"] >= means["WASP_COMPILER_ALL"]
+    assert means["WASP_GPU"] > 1.25

@@ -1,0 +1,17 @@
+"""Bench: regenerate Figure 15 (progressive WASP hardware features)."""
+
+from benchmarks.conftest import SWEEP_BENCHMARKS, emit
+from repro.experiments import fig15
+
+
+def test_fig15_progressive_features(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig15.run(scale=bench_scale, benchmarks=SWEEP_BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    cumulative = result.geomeans()
+    # Paper shape: the full stack beats the software-only compiler, and
+    # adding hardware features never hurts on aggregate.
+    assert cumulative[-1] > 1.05
+    assert cumulative[-1] >= cumulative[0] - 0.02

@@ -1,0 +1,18 @@
+"""Bench: regenerate Figure 16 (register footprint per thread block)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig16
+
+
+def test_fig16_register_footprint(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig16.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    emit(result)
+    # Paper shape: uniform allocation inflates footprints well past the
+    # original kernel; per-stage allocation recovers a large share.
+    inflations = [r.uniform_ratio for r in result.rows]
+    assert max(inflations) > 1.5
+    assert result.mean_savings() > 0.05
+    for row in result.rows:
+        assert row.per_stage_ratio <= row.uniform_ratio + 1e-9

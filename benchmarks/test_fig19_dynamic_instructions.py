@@ -1,0 +1,20 @@
+"""Bench: regenerate Figure 19 (dynamic instruction breakdown B/W/T)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig19
+
+
+def test_fig19_dynamic_instructions(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig19.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    emit(result)
+    reduced = 0
+    for name in {row.benchmark for row in result.rows}:
+        variants = result.variants_of(name)
+        assert variants["B"].normalized_total == 1.0
+        # Paper shape: WASP-TMA cuts issue slots versus software
+        # address generation on offloadable benchmarks.
+        if variants["T"].total < variants["W"].total:
+            reduced += 1
+    assert reduced >= 8

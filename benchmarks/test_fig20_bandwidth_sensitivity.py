@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 20 (memory bandwidth sensitivity)."""
+
+from benchmarks.conftest import SWEEP_BENCHMARKS, emit
+from repro.experiments import fig20
+from repro.experiments.reporting import geomean
+
+
+def test_fig20_bandwidth_sensitivity(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig20.run(scale=bench_scale, benchmarks=SWEEP_BENCHMARKS),
+        rounds=1, iterations=1,
+    )
+    emit(result)
+    half_base = geomean(
+        result.value(name, "A100 0.5x") for name, _ in result.rows
+    )
+    half_wasp = geomean(
+        result.value(name, "WASP 0.5x") for name, _ in result.rows
+    )
+    # Paper shape: halving bandwidth hurts the baseline badly (paper
+    # geomean 0.75x) while WASP at half bandwidth stays close to the
+    # full-bandwidth baseline.
+    assert half_base < 1.0
+    assert half_wasp > half_base
+    full_wasp = geomean(
+        result.value(name, "WASP 1x") for name, _ in result.rows
+    )
+    assert full_wasp > 1.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 21 (L2 bandwidth utilization)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig21
+
+
+def test_fig21_l2_utilization(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig21.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    emit(result)
+    improved = sum(
+        1 for row in result.rows if row.wasp_l2 >= row.baseline_l2 - 0.02
+    )
+    # Paper shape: WASP generally improves L2 utilization.
+    assert improved >= len(result.rows) // 2

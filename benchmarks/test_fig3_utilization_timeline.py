@@ -1,0 +1,16 @@
+"""Bench: regenerate Figure 3 (pointnet utilization timeline)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig3
+
+
+def test_fig3_pointnet_timeline(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: fig3.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    emit(result)
+    base = result.by_config("BASELINE")
+    wasp = result.by_config("WASP_GPU")
+    # Paper shape: WASP overlaps compute with memory; the baseline
+    # alternates phases, so its overlap score is lower.
+    assert wasp.overlap_score() > base.overlap_score()

@@ -1,0 +1,15 @@
+"""Bench: regenerate Table II (median/max kernel speedups)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table2
+
+
+def test_table2_kernel_speedups(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        lambda: table2.run(scale=bench_scale), rounds=1, iterations=1
+    )
+    emit(result)
+    speedups = {row.name: row.max_speedup for row in result.rows}
+    # Paper shape: every benchmark has at least one kernel that gains.
+    assert max(speedups.values()) > 1.3
+    assert len(result.rows) == 20

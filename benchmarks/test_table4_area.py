@@ -1,0 +1,15 @@
+"""Bench: regenerate Table IV (WASP area overhead)."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table4
+
+
+def test_table4_area_overhead(benchmark):
+    result = benchmark.pedantic(table4.run, rounds=3, iterations=1)
+    emit(result)
+    rows = {name: per_gpu for name, _, per_gpu in result.rows}
+    # Paper values: mapper ~56 KB, RFQ ~30 KB, TMA ~27 KB per GPU.
+    assert abs(rows["Warp Mapper"] - 56) < 2
+    assert abs(rows["RFQ Metadata"] - 30) < 2
+    assert abs(rows["WASP-TMA"] - 27) < 1
+    assert rows["Total"] < 200

@@ -1,0 +1,31 @@
+"""WASP (HPCA 2024) reproduction.
+
+Public API surface:
+
+* :mod:`repro.isa` — the SASS-like kernel IR and builder DSL.
+* :mod:`repro.core` — the WASP compiler and hardware models.
+* :mod:`repro.fexec` — functional execution and trace generation.
+* :mod:`repro.sim` — the cycle-level GPU timing simulator.
+* :mod:`repro.workloads` — the 20 Table-II benchmark models.
+* :mod:`repro.experiments` — one module per paper table/figure.
+"""
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.fexec import LaunchConfig, MemoryImage, run_kernel
+from repro.isa import ProgramBuilder
+from repro.sim import GPUConfig, simulate_kernel, simulate_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig",
+    "LaunchConfig",
+    "MemoryImage",
+    "ProgramBuilder",
+    "WaspCompiler",
+    "WaspCompilerOptions",
+    "__version__",
+    "run_kernel",
+    "simulate_kernel",
+    "simulate_program",
+]

@@ -1,0 +1,85 @@
+"""Command-line interface: regenerate any paper artifact from the shell.
+
+Examples::
+
+    python -m repro list
+    python -m repro fig14 --scale 0.5
+    python -m repro table2 --benchmarks pointnet lonestar_bfs
+    python -m repro fig18 --scale 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+
+_ARTIFACTS = {
+    "table2": "Table II — median/max kernel speedups",
+    "fig3": "Figure 3 — pointnet utilization timeline",
+    "fig14": "Figure 14 — overall speedup (4 configurations)",
+    "fig15": "Figure 15 — progressive WASP hardware features",
+    "fig16": "Figure 16 — register footprint",
+    "fig17": "Figure 17 — scheduling policies",
+    "fig18": "Figure 18 — RFQ size sweep",
+    "fig19": "Figure 19 — dynamic instruction breakdown",
+    "fig20": "Figure 20 — bandwidth sensitivity",
+    "fig21": "Figure 21 — L2 utilization",
+    "table4": "Table IV — WASP area overhead",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WASP (HPCA 2024) reproduction: regenerate paper "
+                    "tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_ARTIFACTS) + ["list", "all"],
+        help="which artifact to regenerate ('list' shows descriptions)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.5,
+        help="workload scale factor (1.0 = full size; default 0.5)",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=None,
+        help="benchmark subset (default: all twenty)",
+    )
+    return parser
+
+
+def _run_one(artifact: str, scale: float, benchmarks) -> None:
+    module = importlib.import_module(f"repro.experiments.{artifact}")
+    start = time.time()
+    if artifact == "table4":
+        result = module.run()
+    elif artifact == "fig3":
+        result = module.run(scale=scale)
+    else:
+        result = module.run(scale=scale, benchmarks=benchmarks)
+    print(result.to_text())
+    print(f"\n[{artifact} regenerated in {time.time() - start:.1f}s]")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.artifact == "list":
+        width = max(len(k) for k in _ARTIFACTS)
+        for key in sorted(_ARTIFACTS):
+            print(f"  {key.ljust(width)}  {_ARTIFACTS[key]}")
+        return 0
+    if args.artifact == "all":
+        for key in sorted(_ARTIFACTS):
+            _run_one(key, args.scale, args.benchmarks)
+            print()
+        return 0
+    _run_one(args.artifact, args.scale, args.benchmarks)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""WASP: the paper's primary contribution.
+
+This package implements everything Sections III and IV of the paper add
+on top of a baseline GPU:
+
+* :mod:`repro.core.specs` — the extended thread-block specification
+  (Table I) with explicit warp-to-pipeline-stage naming (III-A).
+* :mod:`repro.core.mapping` — pipeline-aware warp mapping
+  (``group_pipeline``) and per-stage register allocation (III-B).
+* :mod:`repro.core.rfq` — register-file queues and their scoreboard
+  (III-C).
+* :mod:`repro.core.scheduling` — pipeline-aware warp scheduling policies
+  (III-D).
+* :mod:`repro.core.wasp_tma` — WASP-TMA fine-grained address generation
+  (III-E).
+* :mod:`repro.core.compiler` — the automatic warp-specialization
+  compiler (Section IV).
+* :mod:`repro.core.area` — the hardware storage-overhead model
+  (Table IV).
+"""
+
+from repro.core.specs import NamedQueueSpec, ThreadBlockSpec
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+
+__all__ = [
+    "NamedQueueSpec",
+    "ThreadBlockSpec",
+    "WaspCompiler",
+    "WaspCompilerOptions",
+]

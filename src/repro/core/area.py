@@ -1,0 +1,103 @@
+"""WASP hardware area/storage overhead model (Section V-J, Table IV).
+
+The paper's cost is dominated by metadata storage; this module computes
+the same per-SM and per-GPU storage budgets from first principles so the
+Table IV bench can regenerate the numbers and sensitivity tests can vary
+the structural parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class AreaParameters:
+    """Structural parameters of the WASP additions."""
+
+    num_sms: int = 108
+    ctas_per_sm: int = 32
+    warps_per_sm: int = 64
+    max_stages: int = 16
+    max_registers_per_stage: int = 256
+
+    # Warp mapper: per-CTA thread-block specification storage.
+    # 4 bits for the stage count plus 16 bytes of per-stage register
+    # sizes (16 stages x 8 bits) plus stage/queue bookkeeping.
+    warp_mapper_bits_per_cta: int = 132
+
+    # Warp scheduler: per-warp stage id (4b) + is_empty + is_full + valid.
+    scheduler_bits_per_warp: int = 7
+
+    # RFQ metadata: per warp, four 9-bit indices into a 512-entry
+    # register file (head, tail, alloc start, alloc end).
+    rfq_entries_per_warp: int = 4
+    rfq_bits_per_entry: int = 9
+
+    # WASP-TMA: two 128-byte ping-pong buffer entries for gather indices.
+    tma_buffers: int = 2
+    tma_buffer_bytes: int = 128
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Storage requirement of each WASP component (Table IV rows)."""
+
+    warp_mapper_bytes_per_sm: float
+    warp_scheduler_bytes_per_sm: float
+    rfq_metadata_bytes_per_sm: float
+    wasp_tma_bytes_per_sm: float
+    num_sms: int
+
+    @property
+    def total_bytes_per_sm(self) -> float:
+        return (
+            self.warp_mapper_bytes_per_sm
+            + self.warp_scheduler_bytes_per_sm
+            + self.rfq_metadata_bytes_per_sm
+            + self.wasp_tma_bytes_per_sm
+        )
+
+    def per_gpu_kb(self, component: str) -> float:
+        per_sm = {
+            "warp_mapper": self.warp_mapper_bytes_per_sm,
+            "warp_scheduler": self.warp_scheduler_bytes_per_sm,
+            "rfq_metadata": self.rfq_metadata_bytes_per_sm,
+            "wasp_tma": self.wasp_tma_bytes_per_sm,
+            "total": self.total_bytes_per_sm,
+        }[component]
+        return per_sm * self.num_sms / 1024.0
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(component, bytes per SM, KB per GPU) rows in Table IV order."""
+        return [
+            (name, per_sm, per_sm * self.num_sms / 1024.0)
+            for name, per_sm in (
+                ("Warp Mapper", self.warp_mapper_bytes_per_sm),
+                ("Warp Scheduler", self.warp_scheduler_bytes_per_sm),
+                ("RFQ Metadata", self.rfq_metadata_bytes_per_sm),
+                ("WASP-TMA", self.wasp_tma_bytes_per_sm),
+                ("Total", self.total_bytes_per_sm),
+            )
+        ]
+
+
+def compute_area(params: AreaParameters | None = None) -> AreaBreakdown:
+    """Storage overhead per SM and per GPU for the WASP additions."""
+    p = params or AreaParameters()
+    mapper = p.ctas_per_sm * p.warp_mapper_bits_per_cta / 8.0
+    scheduler = p.warps_per_sm * p.scheduler_bits_per_warp / 8.0
+    rfq = (
+        p.warps_per_sm
+        * p.rfq_entries_per_warp
+        * p.rfq_bits_per_entry
+        / 8.0
+    )
+    tma = p.tma_buffers * p.tma_buffer_bytes
+    return AreaBreakdown(
+        warp_mapper_bytes_per_sm=mapper,
+        warp_scheduler_bytes_per_sm=scheduler,
+        rfq_metadata_bytes_per_sm=rfq,
+        wasp_tma_bytes_per_sm=tma,
+        num_sms=p.num_sms,
+    )

@@ -1,0 +1,72 @@
+"""Backward slices over the PDG.
+
+The extraction scheme (Section IV-A) uses two flavours of slice:
+
+* the **address backslice** of a global load — every instruction the
+  load's address transitively depends on, with the depth-first search
+  *terminating at upstream global loads* (those become stage
+  boundaries delivered through queues), and
+* the **full backslice** used for eligibility analysis, which traverses
+  through everything so LDS instructions and self-cycles are visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler.pdg import PDG
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import is_global_load
+
+
+@dataclass
+class AddressBackslice:
+    """Result of an address backslice from one global load.
+
+    Attributes:
+        instructions: Slice members (excluding the load itself and
+            excluding boundary loads), in no particular order.
+        boundary_loads: Upstream global loads the slice terminated at;
+            their values must be delivered to this load's stage.
+    """
+
+    instructions: set[Instruction]
+    boundary_loads: set[Instruction]
+
+
+def address_backslice(pdg: PDG, load: Instruction) -> AddressBackslice:
+    """Backslice of ``load``'s address, stopping at upstream loads."""
+    members: set[int] = set()
+    boundaries: set[int] = set()
+    stack = [uid for uid in pdg.data_preds.get(load.uid, ())]
+    while stack:
+        uid = stack.pop()
+        if uid in members or uid in boundaries or uid == load.uid:
+            continue
+        instr = pdg.instr_by_uid[uid]
+        if is_global_load(instr.opcode):
+            boundaries.add(uid)
+            continue
+        members.add(uid)
+        stack.extend(pdg.data_preds.get(uid, ()))
+    return AddressBackslice(
+        instructions={pdg.instr_by_uid[u] for u in members},
+        boundary_loads={pdg.instr_by_uid[u] for u in boundaries},
+    )
+
+
+def full_backslice(pdg: PDG, instr: Instruction) -> set[Instruction]:
+    """Transitive closure of data predecessors (no termination).
+
+    Includes ``instr`` itself if it participates in a dependence cycle,
+    which is exactly what the self-cycle eligibility check looks for.
+    """
+    visited: set[int] = set()
+    stack = list(pdg.data_preds.get(instr.uid, ()))
+    while stack:
+        uid = stack.pop()
+        if uid in visited:
+            continue
+        visited.add(uid)
+        stack.extend(pdg.data_preds.get(uid, ()))
+    return {pdg.instr_by_uid[u] for u in visited}

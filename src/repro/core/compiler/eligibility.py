@@ -1,0 +1,76 @@
+"""Eligibility analysis for pipeline stage extraction (Section IV-A).
+
+A global load is eligible for extraction when:
+
+* its backslice contains no shared-memory load (an LDS would mean an
+  untrackable memory dependence on STS instructions),
+* it does not depend on itself through a dependence cycle (pointer
+  chasing within a single load), and
+* — reproduction-specific conservatism — it is not part of the control
+  skeleton (a load feeding a branch must execute in every stage), and
+  its loaded value is not needed by more than one downstream stage,
+  since a register-file queue entry can be popped exactly once.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.compiler.backslice import full_backslice
+from repro.core.compiler.pdg import PDG
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+
+
+class Ineligibility(enum.Enum):
+    """Why a global load cannot be extracted into its own stage."""
+
+    LDS_IN_BACKSLICE = "backslice contains a shared-memory load"
+    SELF_CYCLE = "load participates in a dependence cycle with itself"
+    FEEDS_CONTROL = "loaded value feeds program control flow"
+    GUARD_DIVERGES = "load is guarded by a non-skeleton predicate"
+
+
+@dataclass
+class EligibilityReport:
+    """Per-load eligibility verdicts for one program."""
+
+    eligible: list[Instruction]
+    ineligible: dict[int, Ineligibility]
+
+    def reason_for(self, load: Instruction) -> Ineligibility | None:
+        return self.ineligible.get(load.uid)
+
+
+def classify_loads(
+    pdg: PDG, skeleton_uids: set[int]
+) -> EligibilityReport:
+    """Split the program's global loads into eligible / ineligible.
+
+    ``skeleton_uids`` is the control skeleton (branches plus their
+    transitive backslices); loads inside it are replicated into every
+    stage rather than extracted.
+    """
+    eligible: list[Instruction] = []
+    ineligible: dict[int, Ineligibility] = {}
+    for load in pdg.global_loads():
+        verdict = _classify_one(pdg, load, skeleton_uids)
+        if verdict is None:
+            eligible.append(load)
+        else:
+            ineligible[load.uid] = verdict
+    return EligibilityReport(eligible=eligible, ineligible=ineligible)
+
+
+def _classify_one(
+    pdg: PDG, load: Instruction, skeleton_uids: set[int]
+) -> Ineligibility | None:
+    if load.uid in skeleton_uids:
+        return Ineligibility.FEEDS_CONTROL
+    backslice = full_backslice(pdg, load)
+    if any(i.opcode is Opcode.LDS for i in backslice):
+        return Ineligibility.LDS_IN_BACKSLICE
+    if any(i.uid == load.uid for i in backslice):
+        return Ineligibility.SELF_CYCLE
+    return None

@@ -1,0 +1,213 @@
+"""Pipeline finalization: jump table, combined program, thread-block spec.
+
+The stage programs are concatenated into one SASS program with a *jump
+table* at the top that dispatches each warp to its stage's code section
+using the ``PIPE_STAGE_ID`` special register (Section IV-B).  The
+thread-block specification (Table I) is populated with the stage count,
+per-stage register allocations, named queues, SMEM usage, and the
+arrive/wait barrier metadata derived from the buffering transformation.
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler.regalloc import compact_registers
+from repro.core.compiler.stagesplit import StageProgram, partner_tile_key
+from repro.core.specs import (
+    NamedQueueSpec,
+    ThreadBlockSpec,
+    contiguous_stage_assignment,
+)
+from repro.errors import CompilerError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import InstrCategory, Opcode
+from repro.isa.operands import (
+    Immediate,
+    Predicate,
+    QueueRef,
+    SpecialReg,
+    SpecialRegister,
+)
+from repro.isa.program import Program
+
+
+def finalize_pipeline(
+    name: str,
+    stages: list[StageProgram],
+    num_warps: int,
+    queue_size: int,
+    smem_words: int,
+    smem_buffers: dict[str, tuple[int, int]],
+) -> Program:
+    """Build the combined warp-specialized program with its spec attached.
+
+    ``num_warps`` is the original thread block's warp count; every stage
+    receives that many warps (the paper splits each original warp into
+    one warp per stage, forming pipeline slices).
+    """
+    if not stages:
+        raise CompilerError("cannot finalize an empty pipeline")
+    num_stages = len(stages)
+
+    stage_registers = []
+    for stage_prog in stages:
+        stage_registers.append(max(1, compact_registers(stage_prog.program)))
+
+    combined = Program(
+        name=f"{name}@wasp",
+        smem_words=smem_words,
+        smem_buffers=dict(smem_buffers),
+    )
+    # One dispatch block per non-zero stage (a block may hold only one
+    # branch); stage 0 is reached by falling through the whole table.
+    jt_pred = Predicate(_max_pred_index(stages) + 1)
+    for stage_prog in stages[1:]:
+        stage = stage_prog.stage
+        jump = combined.block(f"jump_table_{stage}")
+        jump.append(
+            Instruction(
+                Opcode.ISETP,
+                dst=jt_pred,
+                srcs=[
+                    SpecialRegister(SpecialReg.PIPE_STAGE_ID),
+                    Immediate(stage),
+                ],
+                attrs={"cmp": "eq"},
+                category=InstrCategory.CONTROL,
+            )
+        )
+        entry = stage_prog.program.entry.label
+        jump.append(
+            Instruction(
+                Opcode.BRA,
+                target=f"s{stage}_{entry}",
+                guard=jt_pred,
+                category=InstrCategory.CONTROL,
+            )
+        )
+
+    for stage_prog in stages:
+        prefix = f"s{stage_prog.stage}_"
+        for block in stage_prog.program.blocks:
+            new_block = combined.block(prefix + block.label)
+            for instr in block.instructions:
+                if instr.opcode is Opcode.BRA and instr.target is not None:
+                    instr.target = prefix + instr.target
+                new_block.instructions.append(instr)
+        _ensure_stage_exits(combined, prefix, stage_prog)
+
+    spec = build_spec(
+        stages,
+        num_warps=num_warps,
+        queue_size=queue_size,
+        stage_registers=stage_registers,
+        smem_words=smem_words,
+    )
+    combined.tb_spec = spec
+    combined.num_registers = max(stage_registers)
+    combined.validate()
+    return combined
+
+
+def _ensure_stage_exits(
+    combined: Program, prefix: str, stage_prog: StageProgram
+) -> None:
+    """Guarantee each stage section cannot fall into the next section."""
+    last_label = prefix + stage_prog.program.blocks[-1].label
+    last_block = combined.find_block(last_label)
+    term = last_block.terminator
+    if term is None or term.opcode is not Opcode.EXIT:
+        if term is None:
+            last_block.append(Instruction(Opcode.EXIT))
+        elif term.guard is not None:
+            last_block.append(Instruction(Opcode.EXIT))
+        # An unconditional BRA/EXIT terminator cannot fall through.
+
+
+def _max_pred_index(stages: list[StageProgram]) -> int:
+    top = -1
+    for stage_prog in stages:
+        top = max(top, stage_prog.program.max_predicate_index())
+    return top
+
+
+def build_spec(
+    stages: list[StageProgram],
+    num_warps: int,
+    queue_size: int,
+    stage_registers: list[int],
+    smem_words: int,
+) -> ThreadBlockSpec:
+    """Populate the Table-I thread-block specification."""
+    num_stages = len(stages)
+    queues = _collect_queues(stages, queue_size)
+    expected, initial = _barrier_metadata(stages, num_warps)
+    return ThreadBlockSpec(
+        num_stages=num_stages,
+        warps_per_stage=contiguous_stage_assignment(
+            num_stages, [num_warps] * num_stages
+        ),
+        stage_registers=stage_registers,
+        queues=queues,
+        smem_words=smem_words,
+        barrier_expected=expected,
+        barrier_initial=initial,
+    )
+
+
+def _collect_queues(
+    stages: list[StageProgram], queue_size: int
+) -> list[NamedQueueSpec]:
+    push_stage: dict[int, int] = {}
+    pop_stage: dict[int, int] = {}
+    for stage_prog in stages:
+        for instr in stage_prog.program.instructions():
+            if isinstance(instr.dst, QueueRef):
+                push_stage[instr.dst.queue_id] = stage_prog.stage
+            for pop in instr.queue_pops():
+                pop_stage[pop.queue_id] = stage_prog.stage
+    queues = []
+    for queue_id in sorted(push_stage):
+        if queue_id not in pop_stage:
+            raise CompilerError(f"queue {queue_id} pushed but never popped")
+        queues.append(
+            NamedQueueSpec(
+                queue_id=queue_id,
+                src_stage=push_stage[queue_id],
+                dst_stage=pop_stage[queue_id],
+                size=queue_size,
+            )
+        )
+    orphan_pops = set(pop_stage) - set(push_stage)
+    if orphan_pops:
+        raise CompilerError(f"queues {sorted(orphan_pops)} popped, never pushed")
+    return queues
+
+
+def _barrier_metadata(
+    stages: list[StageProgram], num_warps: int
+) -> tuple[dict[str, int], dict[str, int]]:
+    """Arrive/wait barrier expected counts and initial credits.
+
+    For a tile key K produced by stage set P:
+      * ``K_filled`` is arrived by producers: expected = |P| * num_warps.
+      * ``K_empty`` is arrived by consumers (every non-producer stage):
+        expected = (num_stages - |P|) * num_warps.
+      * Double buffering: copy A's empty barrier starts with a full
+        generation of credit (buffer A may be filled immediately);
+        copy B's first credit comes from the consumers' spurious
+        first-section arrival.
+    """
+    producer_stages: dict[str, set[int]] = {}
+    for stage_prog in stages:
+        for key in stage_prog.tile_keys:
+            producer_stages.setdefault(key, set()).add(stage_prog.stage)
+    num_stages = len(stages)
+    expected: dict[str, int] = {}
+    initial: dict[str, int] = {}
+    for key, producers in producer_stages.items():
+        consumers = num_stages - len(producers)
+        expected[f"{key}_filled"] = len(producers) * num_warps
+        expected[f"{key}_empty"] = max(1, consumers * num_warps)
+        if key.endswith("_A") and partner_tile_key(key) in producer_stages:
+            initial[f"{key}_empty"] = expected[f"{key}_empty"]
+    return expected, initial

@@ -1,0 +1,41 @@
+"""Stage merging by memory-indirection depth (Section IV-B).
+
+Optimized kernels can contain tens to hundreds of static global loads;
+one stage per load would never fit on an SM.  Following the paper (and
+OUTRIDER), loads with the same level of memory indirection are merged
+into a single memory-access stage: depth-1 loads (addresses computed
+from arithmetic only) form the first stage, depth-2 loads (addresses
+derived from one loaded value) the second, and so on.  The final
+pipeline is ``[depth-1 stage, depth-2 stage, ..., compute stage]``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+
+
+def group_by_depth(
+    depths: dict[int, int], loads: list[Instruction], max_stages: int
+) -> tuple[list[list[Instruction]], list[Instruction]]:
+    """Group eligible loads into memory stages by indirection depth.
+
+    Returns ``(stage_groups, demoted)`` where ``stage_groups[k]`` holds
+    the loads of the *k*-th memory stage (ascending depth) and
+    ``demoted`` holds loads whose depth exceeds the stage budget
+    (``max_stages`` minus one slot reserved for the compute stage); those
+    stay in the compute stage un-specialized.
+    """
+    if max_stages < 2:
+        return [], list(loads)
+    max_memory_stages = max_stages - 1
+    by_depth: dict[int, list[Instruction]] = {}
+    for load in loads:
+        by_depth.setdefault(depths[load.uid], []).append(load)
+    stage_groups: list[list[Instruction]] = []
+    demoted: list[Instruction] = []
+    for depth in sorted(by_depth):
+        if len(stage_groups) < max_memory_stages:
+            stage_groups.append(by_depth[depth])
+        else:
+            demoted.extend(by_depth[depth])
+    return stage_groups, demoted

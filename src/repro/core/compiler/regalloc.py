@@ -1,0 +1,51 @@
+"""Per-stage register re-allocation (Section IV-B).
+
+After stage splitting each stage uses a sparse subset of the original
+register space.  The compiler "performs a simple re-allocation by
+compacting the registers into contiguous space"; the resulting per-stage
+counts populate the thread-block specification and drive WASP's
+per-stage register allocation (Figure 16).
+"""
+
+from __future__ import annotations
+
+from repro.isa.operands import Predicate, Register
+from repro.isa.program import Program
+
+
+def compact_registers(program: Program) -> int:
+    """Rename registers and predicates to a dense 0..N-1 space in place.
+
+    Returns the per-thread register count after compaction.  Renaming is
+    by first appearance in layout order, which keeps listings readable.
+    """
+    reg_map: dict[int, int] = {}
+    pred_map: dict[int, int] = {}
+
+    def map_reg(reg: Register) -> Register:
+        if reg.index not in reg_map:
+            reg_map[reg.index] = len(reg_map)
+        return Register(reg_map[reg.index])
+
+    def map_pred(pred: Predicate) -> Predicate:
+        if pred.index not in pred_map:
+            pred_map[pred.index] = len(pred_map)
+        return Predicate(pred_map[pred.index])
+
+    def map_operand(op):
+        if isinstance(op, Register):
+            return map_reg(op)
+        if isinstance(op, Predicate):
+            return map_pred(op)
+        return op
+
+    for instr in program.instructions():
+        if isinstance(instr.dst, (Register, Predicate)):
+            instr.dst = map_operand(instr.dst)
+        instr.srcs = [map_operand(s) for s in instr.srcs]
+        if instr.guard is not None:
+            instr.guard = map_pred(instr.guard)
+
+    count = len(reg_map)
+    program.num_registers = count
+    return count

@@ -1,0 +1,39 @@
+"""Control-skeleton computation.
+
+Every pipeline stage must reproduce the original program's control flow
+so producers and consumers execute their queue operations the same
+number of times (the paper: "control flow instructions ... are
+replicated across both warps, to maintain coherent execution").  The
+*control skeleton* is the set of instructions every stage therefore
+carries: branches, EXITs, thread-block barriers, and the transitive data
+backslices of branch conditions.
+
+If a global load sits inside the skeleton (a data-dependent trip count,
+e.g. CSR row pointers), the load itself is replicated into every stage —
+each stage issues its own copy — which is why such loads are ineligible
+for extraction (:mod:`repro.core.compiler.eligibility`).
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler.pdg import PDG
+from repro.isa.opcodes import Opcode
+
+_SKELETON_OPCODES = (Opcode.BRA, Opcode.EXIT, Opcode.BAR_SYNC)
+
+
+def compute_skeleton(pdg: PDG) -> set[int]:
+    """Uids of the control-skeleton instructions of ``pdg.program``."""
+    skeleton: set[int] = set()
+    stack: list[int] = []
+    for instr in pdg.program.instructions():
+        if instr.opcode in _SKELETON_OPCODES:
+            skeleton.add(instr.uid)
+            stack.append(instr.uid)
+    while stack:
+        uid = stack.pop()
+        for pred_uid in pdg.data_preds.get(uid, ()):
+            if pred_uid not in skeleton:
+                skeleton.add(pred_uid)
+                stack.append(pred_uid)
+    return skeleton

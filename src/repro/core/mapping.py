@@ -1,0 +1,95 @@
+"""Pipeline-aware warp mapping and register allocation (Section III-B).
+
+Two warp-to-processing-block mapping algorithms:
+
+* ``round_robin`` — the baseline GPU's mapper: warps are dealt one at a
+  time across processing blocks, which lands similar pipeline stages on
+  the same block (Figure 5, left).
+* ``group_pipeline`` — WASP's mapper: all warps of one pipeline *slice*
+  (the k-th warp of every stage, a complete producer→consumer chain) are
+  co-located on one processing block, balancing heterogeneous resource
+  use (Figure 5, right).
+
+Register allocation helpers compute the thread-block footprint under
+uniform allocation (baseline: every warp gets the maximum stage's count)
+and WASP's per-stage allocation (Figure 7 / Figure 16).
+"""
+
+from __future__ import annotations
+
+from repro.core.specs import ThreadBlockSpec
+from repro.errors import SimulationError
+
+
+def round_robin_mapping(
+    num_warps: int, num_processing_blocks: int
+) -> dict[int, int]:
+    """Baseline mapping: warp w -> processing block (w mod P)."""
+    if num_processing_blocks <= 0:
+        raise SimulationError("need at least one processing block")
+    return {w: w % num_processing_blocks for w in range(num_warps)}
+
+
+def group_pipeline_mapping(
+    spec: ThreadBlockSpec, num_processing_blocks: int
+) -> dict[int, int]:
+    """WASP mapping: pipeline slices dealt across processing blocks."""
+    if num_processing_blocks <= 0:
+        raise SimulationError("need at least one processing block")
+    mapping: dict[int, int] = {}
+    for slice_idx, slice_warps in enumerate(spec.pipeline_slices()):
+        block = slice_idx % num_processing_blocks
+        for warp_id in slice_warps:
+            mapping[warp_id] = block
+    return mapping
+
+
+def map_warps(
+    spec: ThreadBlockSpec | None,
+    num_warps: int,
+    num_processing_blocks: int,
+    use_group_pipeline: bool,
+) -> dict[int, int]:
+    """Choose the mapper based on hardware support and the spec.
+
+    Without explicit naming (no spec) or without the WASP mapper, the
+    baseline round-robin assignment is used.
+    """
+    if use_group_pipeline and spec is not None:
+        return group_pipeline_mapping(spec, num_processing_blocks)
+    return round_robin_mapping(num_warps, num_processing_blocks)
+
+
+def register_footprint(
+    spec: ThreadBlockSpec | None,
+    num_warps: int,
+    program_registers: int,
+    threads_per_warp: int,
+    per_stage: bool,
+) -> int:
+    """Thread-block register footprint in physical registers.
+
+    For unspecialized kernels (no spec) this is simply
+    ``regs * threads * warps``.  For specialized kernels, uniform
+    allocation charges every warp the maximum stage requirement; WASP's
+    per-stage allocation charges each stage its own requirement.
+    """
+    if spec is None:
+        return max(1, program_registers) * threads_per_warp * num_warps
+    if per_stage:
+        return spec.per_stage_register_footprint(threads_per_warp)
+    return spec.uniform_register_footprint(threads_per_warp)
+
+
+def rfq_register_words(
+    spec: ThreadBlockSpec | None, rfq_size: int, threads_per_warp: int
+) -> int:
+    """Register-file storage consumed by RFQ channels for one block.
+
+    Each queue has one channel per pipeline slice; each entry is a
+    warp-wide register (``threads_per_warp`` words).
+    """
+    if spec is None or not spec.queues:
+        return 0
+    slices = len(spec.pipeline_slices())
+    return len(spec.queues) * slices * rfq_size * threads_per_warp

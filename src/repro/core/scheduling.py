@@ -1,0 +1,88 @@
+"""Pipeline-aware warp scheduling policies (Section III-D).
+
+The scheduler sees, for every issuable warp, a :class:`WarpSchedState`
+with its pipeline stage id and the RFQ scoreboard bits (incoming queue
+has ready data / outgoing queue is full).  A policy converts the state
+into a priority key — **lower sorts first** — and the processing block
+issues the best ready warp each cycle.
+
+Policies evaluated in Figure 17:
+
+* ``producer_first`` — earlier pipeline stages first (more MLP).
+* ``consumer_first`` — later stages first (drain the pipeline).
+* ``full_ready_producer`` — warps whose outgoing queue is full, then
+  warps with ready incoming data, then earlier stages (the paper's best
+  combination, used by the full WASP configuration).
+* ``full_ready_consumer`` — same queue terms, later stages first.
+* baseline ``gto`` (greedy-then-oldest) and ``lrr`` round-robin.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SchedulingPolicy(enum.Enum):
+    """Warp scheduling policies (baseline GTO + Section III-D)."""
+
+    GTO = "gto"                      # greedy-then-oldest (baseline)
+    LRR = "lrr"                      # loose round-robin
+    PRODUCER_FIRST = "producer_first"        # earlier pipeline stages first
+    CONSUMER_FIRST = "consumer_first"        # later pipeline stages first
+    FULL_READY_PRODUCER = "full_ready_producer"  # queue status, then producer
+    FULL_READY_CONSUMER = "full_ready_consumer"  # queue status, then consumer
+
+
+@dataclass
+class WarpSchedState:
+    """Scheduler-visible state of one issuable warp.
+
+    The queue bits describe the warp's *incoming* queues, matching the
+    paper's scoreboard: ``incoming_full`` flags a consumer whose queue
+    is full (drain it urgently — the producer is blocked on it) and
+    ``incoming_ready`` flags a consumer with data waiting.
+    """
+
+    warp_key: int            # unique per (tb, warp)
+    pipe_stage_id: int
+    incoming_ready: bool     # some incoming queue has data ready
+    incoming_full: bool      # some incoming queue is full (producer blocked)
+    last_issued: float       # last cycle this warp issued (for GTO)
+    age: int                 # launch order (oldest = smallest)
+
+
+def priority_key(
+    policy: SchedulingPolicy, state: WarpSchedState, greedy_key: int | None
+):
+    """Sort key (ascending) for a ready warp under ``policy``.
+
+    ``greedy_key`` is the warp that issued last on this processing block
+    (GTO keeps issuing from it while it stays ready).
+    """
+    greedy = 0 if state.warp_key == greedy_key else 1
+    if policy is SchedulingPolicy.GTO:
+        return (greedy, state.age)
+    if policy is SchedulingPolicy.LRR:
+        return (state.last_issued, state.age)
+    if policy is SchedulingPolicy.PRODUCER_FIRST:
+        return (state.pipe_stage_id, greedy, state.age)
+    if policy is SchedulingPolicy.CONSUMER_FIRST:
+        return (-state.pipe_stage_id, greedy, state.age)
+    if policy is SchedulingPolicy.FULL_READY_PRODUCER:
+        return (
+            0 if state.incoming_full else 1,
+            0 if state.incoming_ready else 1,
+            state.pipe_stage_id,
+            greedy,
+            state.age,
+        )
+    if policy is SchedulingPolicy.FULL_READY_CONSUMER:
+        return (
+            0 if state.incoming_full else 1,
+            0 if state.incoming_ready else 1,
+            -state.pipe_stage_id,
+            greedy,
+            state.age,
+        )
+    raise ValueError(f"unknown policy {policy}")

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the WASP reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures without also catching Python built-ins.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class IsaError(ReproError):
+    """Malformed instruction, operand, or program."""
+
+
+class ValidationError(IsaError):
+    """A program failed structural validation (CFG, operands, barriers)."""
+
+
+class CompilerError(ReproError):
+    """The WASP compiler could not transform a kernel."""
+
+
+class IneligibleKernelError(CompilerError):
+    """The kernel violates the assumptions of warp specialization.
+
+    Mirrors the paper's eligibility rules (Section IV-A): an LDG whose
+    backslice contains SMEM loads, or an LDG with a dependence cycle on
+    itself, cannot be extracted into a pipeline stage.
+    """
+
+
+class ExecutionError(ReproError):
+    """The functional executor hit an illegal state (bad address, ...)."""
+
+
+class DeadlockError(ExecutionError):
+    """Cooperative execution or timing simulation made no progress.
+
+    Raised instead of hanging when every warp is blocked on a queue or
+    barrier that can never be satisfied.
+    """
+
+
+class SimulationError(ReproError):
+    """The timing simulator was configured or driven inconsistently."""
+
+
+class ResourceError(SimulationError):
+    """A kernel does not fit on the SM (registers, SMEM, warp slots)."""

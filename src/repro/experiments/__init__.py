@@ -1,0 +1,38 @@
+"""Evaluation harness reproducing every table and figure of Section V.
+
+One module per paper artifact:
+
+========  ==========================================================
+table2    Table II — median/max kernel speedup per benchmark
+fig3      Figure 3 — pointnet utilization timeline
+fig14     Figure 14 — overall speedup of the four configurations
+fig15     Figure 15 — progressive WASP hardware features
+fig16     Figure 16 — register footprint, uniform vs per-stage
+fig17     Figure 17 — pipeline-aware scheduling policies
+fig18     Figure 18 — RFQ size sweep
+fig19     Figure 19 — dynamic instruction breakdown (B/W/T)
+fig20     Figure 20 — memory bandwidth sensitivity
+fig21     Figure 21 — L2 bandwidth utilization
+table4    Table IV — WASP area overhead
+========  ==========================================================
+
+Each module exposes ``run(scale=..., benchmarks=...)`` returning a
+result object with ``rows`` and ``to_text()``.
+"""
+
+from repro.experiments.configs import (
+    EvalConfig,
+    baseline_config,
+    standard_configs,
+    wasp_gpu_config,
+)
+from repro.experiments.runner import run_benchmark, run_kernel
+
+__all__ = [
+    "EvalConfig",
+    "baseline_config",
+    "run_benchmark",
+    "run_kernel",
+    "standard_configs",
+    "wasp_gpu_config",
+]

@@ -1,0 +1,103 @@
+"""Per-kernel RFQ size auto-tuning (paper Section V-F extension).
+
+Figure 18 notes "the queue size can be individually set per kernel";
+the paper evaluates a single global size (32).  This module implements
+the per-kernel variant: sweep candidate sizes for each kernel and keep
+the fastest, reporting how much headroom per-kernel tuning adds over
+the best global size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.configs import baseline_config, wasp_gpu_config
+from repro.experiments.runner import GLOBAL_CACHE, run_kernel
+from repro.experiments.reporting import format_table, geomean
+from repro.workloads import all_benchmarks, get_benchmark
+
+DEFAULT_SIZES = (8, 16, 32, 64)
+
+
+@dataclass
+class AutotuneRow:
+    benchmark: str
+    kernel: str
+    best_size: int
+    fixed_speedup: float   # best single global size (32) vs baseline
+    tuned_speedup: float   # per-kernel best size vs baseline
+
+
+@dataclass
+class AutotuneResult:
+    fixed_size: int
+    rows: list[AutotuneRow] = field(default_factory=list)
+
+    def mean_gain(self) -> float:
+        """Geomean of tuned/fixed across kernels."""
+        return geomean(
+            r.tuned_speedup / r.fixed_speedup
+            for r in self.rows
+            if r.fixed_speedup > 0
+        )
+
+    def to_text(self) -> str:
+        table_rows = [
+            (
+                r.benchmark, r.kernel, r.best_size,
+                f"{r.fixed_speedup:.2f}x", f"{r.tuned_speedup:.2f}x",
+            )
+            for r in self.rows
+        ]
+        table_rows.append(
+            ("MEAN GAIN", "", "", "", f"{self.mean_gain():.3f}x")
+        )
+        return format_table(
+            ["Benchmark", "Kernel", "Best size",
+             f"Fixed ({self.fixed_size})", "Tuned"],
+            table_rows,
+            title="Per-kernel RFQ size auto-tuning "
+                  "(extension of Figure 18)",
+        )
+
+
+def tune_kernel(
+    kernel, base_cycles: float, sizes=DEFAULT_SIZES
+) -> tuple[int, float]:
+    """Best RFQ size and its speedup over baseline for one kernel."""
+    best_size, best_speedup = sizes[0], 0.0
+    for size in sizes:
+        cfg = wasp_gpu_config(rfq_size=size)
+        result = run_kernel(kernel, cfg, GLOBAL_CACHE)
+        speedup = base_cycles / result.cycles
+        if speedup > best_speedup:
+            best_size, best_speedup = size, speedup
+    return best_size, best_speedup
+
+
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    sizes=DEFAULT_SIZES,
+    fixed_size: int = 32,
+) -> AutotuneResult:
+    """Auto-tune queue sizes per kernel and compare to a global size."""
+    base_cfg = baseline_config()
+    fixed_cfg = wasp_gpu_config(rfq_size=fixed_size)
+    result = AutotuneResult(fixed_size=fixed_size)
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        for kernel in benchmark.kernels:
+            base = run_kernel(kernel, base_cfg, GLOBAL_CACHE)
+            fixed = run_kernel(kernel, fixed_cfg, GLOBAL_CACHE)
+            best_size, tuned = tune_kernel(kernel, base.cycles, sizes)
+            result.rows.append(
+                AutotuneRow(
+                    benchmark=name,
+                    kernel=kernel.name,
+                    best_size=best_size,
+                    fixed_speedup=base.cycles / fixed.cycles,
+                    tuned_speedup=tuned,
+                )
+            )
+    return result

@@ -1,0 +1,157 @@
+"""Named evaluation configurations (paper Section V-A / Figure 14).
+
+``BASELINE`` models a modern GPU where GEMM-class kernels already run
+CUTLASS-style warp-specialized tile pipelines with idealized warp
+mapping (the paper's baseline modelling decision); everything else runs
+unspecialized.  The ``WASP_COMPILER_*`` configurations add the compiler
+on baseline hardware (queues through SMEM), and ``WASP_GPU`` runs the
+full compiler on the full WASP hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.compiler import WaspCompilerOptions
+from repro.sim.config import (
+    GPUConfig,
+    QueueImpl,
+    SchedulingPolicy,
+    WaspFeatures,
+    baseline_a100,
+)
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """One named point in the evaluation space.
+
+    Attributes:
+        name: Configuration name used in figures.
+        compiler: WASP compiler options, or ``None`` to run original
+            kernels (the baseline for non-GEMM code).
+        gpu: The GPU model.
+        cutlass_gemm: Model CUTLASS warp specialization on GEMM kernels
+            (tile-path compile + idealized mapping) even when
+            ``compiler`` is ``None``.
+        opt_in: Per-kernel opt-in — use the specialized version only
+            when it beats the unspecialized kernel on the same GPU
+            (Section V-A: "we direct the compiler on a per-kernel
+            basis...").
+    """
+
+    name: str
+    compiler: WaspCompilerOptions | None
+    gpu: GPUConfig
+    cutlass_gemm: bool = True
+    opt_in: bool = True
+
+
+_TILE_ONLY = WaspCompilerOptions(
+    enable_streaming=False, enable_tma_offload=False
+)
+_ALL_SW = WaspCompilerOptions(enable_tma_offload=False)
+_ALL_HW = WaspCompilerOptions()
+
+
+def _gpu(features: WaspFeatures, rfq_size: int = 32) -> GPUConfig:
+    return replace(baseline_a100(), features=features, rfq_size=rfq_size)
+
+
+def _cutlass_gpu(base: GPUConfig) -> GPUConfig:
+    """Baseline GPU with idealized mapping for CUTLASS GEMM kernels."""
+    features = replace(
+        base.features, explicit_naming=True, group_pipeline_mapping=True
+    )
+    return replace(base, features=features)
+
+
+def baseline_config() -> EvalConfig:
+    return EvalConfig(
+        name="BASELINE", compiler=None, gpu=baseline_a100()
+    )
+
+
+def compiler_tile_config() -> EvalConfig:
+    return EvalConfig(
+        name="WASP_COMPILER_TILE", compiler=_TILE_ONLY, gpu=baseline_a100()
+    )
+
+
+def compiler_all_config() -> EvalConfig:
+    return EvalConfig(
+        name="WASP_COMPILER_ALL", compiler=_ALL_SW, gpu=baseline_a100()
+    )
+
+
+def wasp_gpu_config(rfq_size: int = 32) -> EvalConfig:
+    from repro.sim.config import wasp_gpu
+
+    return EvalConfig(
+        name="WASP_GPU",
+        compiler=_ALL_HW,
+        gpu=replace(wasp_gpu(), rfq_size=rfq_size),
+    )
+
+
+def standard_configs() -> list[EvalConfig]:
+    """The four Figure 14 configurations, in plot order."""
+    return [
+        baseline_config(),
+        compiler_tile_config(),
+        compiler_all_config(),
+        wasp_gpu_config(),
+    ]
+
+
+def progressive_feature_configs() -> list[EvalConfig]:
+    """Figure 15: WASP hardware features added progressively.
+
+    The starting point is the software-only compiler on baseline
+    hardware; each step adds one hardware feature, ending at WASP_GPU.
+    """
+    naming = WaspFeatures(explicit_naming=True)
+    regalloc = replace(naming, per_stage_registers=True)
+    tma = replace(regalloc, wasp_tma=True)
+    rfq = replace(tma, queue_impl=QueueImpl.RFQ)
+    sched = replace(
+        rfq,
+        pipeline_scheduling=True,
+        group_pipeline_mapping=True,
+        scheduling_policy=SchedulingPolicy.FULL_READY_PRODUCER,
+    )
+    return [
+        EvalConfig("COMPILER_SW", _ALL_SW, baseline_a100()),
+        EvalConfig("+REGALLOC", _ALL_SW, _gpu(regalloc)),
+        EvalConfig("+WASP_TMA", _ALL_HW, _gpu(tma)),
+        EvalConfig("+RFQ", _ALL_HW, _gpu(rfq)),
+        EvalConfig("+SCHEDULING", _ALL_HW, _gpu(sched)),
+    ]
+
+
+def scheduling_policy_configs() -> list[EvalConfig]:
+    """Figure 17: scheduler policy study on otherwise-full WASP hardware."""
+    configs = []
+    for policy in (
+        SchedulingPolicy.PRODUCER_FIRST,
+        SchedulingPolicy.CONSUMER_FIRST,
+        SchedulingPolicy.FULL_READY_PRODUCER,
+        SchedulingPolicy.FULL_READY_CONSUMER,
+    ):
+        features = replace(
+            WaspFeatures.full(), scheduling_policy=policy
+        )
+        configs.append(
+            EvalConfig(policy.value.upper(), _ALL_HW, _gpu(features))
+        )
+    return configs
+
+
+def gto_wasp_hw_config() -> EvalConfig:
+    """Full WASP hardware but the baseline GTO scheduler (Fig 17 base)."""
+    features = replace(
+        WaspFeatures.full(),
+        pipeline_scheduling=False,
+        scheduling_policy=SchedulingPolicy.GTO,
+    )
+    return EvalConfig("GTO", _ALL_HW, _gpu(features))

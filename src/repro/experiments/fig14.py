@@ -1,0 +1,59 @@
+"""Figure 14: overall speedup of the four configurations over BASELINE."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.configs import standard_configs
+from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.reporting import format_table, geomean
+from repro.workloads import all_benchmarks, get_benchmark
+
+
+@dataclass
+class Fig14Result:
+    config_names: list[str]
+    rows: list[tuple[str, list[float]]] = field(default_factory=list)
+
+    def geomeans(self) -> list[float]:
+        return [
+            geomean(row[1][idx] for row in self.rows)
+            for idx in range(len(self.config_names))
+        ]
+
+    def speedup(self, benchmark: str, config: str) -> float:
+        idx = self.config_names.index(config)
+        for name, values in self.rows:
+            if name == benchmark:
+                return values[idx]
+        raise KeyError(benchmark)
+
+    def to_text(self) -> str:
+        table_rows = [
+            [name] + [f"{v:.2f}" for v in values]
+            for name, values in self.rows
+        ]
+        table_rows.append(
+            ["GEOMEAN"] + [f"{v:.2f}" for v in self.geomeans()]
+        )
+        return format_table(
+            ["Benchmark"] + self.config_names,
+            table_rows,
+            title="Figure 14: speedup over BASELINE",
+        )
+
+
+def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig14Result:
+    """Regenerate Figure 14."""
+    cache = GLOBAL_CACHE
+    configs = standard_configs()
+    result = Fig14Result(config_names=[c.name for c in configs])
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        totals = [
+            run_benchmark(benchmark, cfg, cache).total_cycles
+            for cfg in configs
+        ]
+        baseline = totals[0]
+        result.rows.append((name, [baseline / t for t in totals]))
+    return result

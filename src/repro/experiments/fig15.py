@@ -1,0 +1,71 @@
+"""Figure 15: runtime improvement as WASP hardware features are added.
+
+The baseline of this figure is the WASP *compiler alone* on baseline
+hardware; each configuration adds one hardware feature cumulatively
+(per-stage register allocation, WASP-TMA, register-file queues,
+pipeline-aware scheduling + mapping), ending at the full WASP GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.configs import progressive_feature_configs
+from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.reporting import format_table, geomean
+from repro.workloads import all_benchmarks, get_benchmark
+
+
+@dataclass
+class Fig15Result:
+    config_names: list[str]
+    rows: list[tuple[str, list[float]]] = field(default_factory=list)
+
+    def geomeans(self) -> list[float]:
+        return [
+            geomean(row[1][idx] for row in self.rows)
+            for idx in range(len(self.config_names))
+        ]
+
+    def incremental_geomeans(self) -> list[float]:
+        """Speedup each step adds over the previous one."""
+        cumulative = self.geomeans()
+        increments = [cumulative[0]]
+        for prev, curr in zip(cumulative, cumulative[1:]):
+            increments.append(curr / prev)
+        return increments
+
+    def to_text(self) -> str:
+        table_rows = [
+            [name] + [f"{v:.2f}" for v in values]
+            for name, values in self.rows
+        ]
+        table_rows.append(["GEOMEAN"] + [f"{v:.2f}" for v in self.geomeans()])
+        table_rows.append(
+            ["(step gain)"] +
+            [f"{v:.2f}" for v in self.incremental_geomeans()]
+        )
+        return format_table(
+            ["Benchmark"] + self.config_names,
+            table_rows,
+            title="Figure 15: speedup over WASP compiler alone "
+                  "(features added progressively)",
+        )
+
+
+def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig15Result:
+    """Regenerate Figure 15."""
+    cache = GLOBAL_CACHE
+    configs = progressive_feature_configs()
+    result = Fig15Result(config_names=[c.name for c in configs[1:]])
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        totals = [
+            run_benchmark(benchmark, cfg, cache).total_cycles
+            for cfg in configs
+        ]
+        reference = totals[0]  # WASP compiler, software-only
+        result.rows.append(
+            (name, [reference / t for t in totals[1:]])
+        )
+    return result

@@ -1,0 +1,100 @@
+"""Figure 16: thread-block register footprint, uniform vs per-stage.
+
+For each benchmark's dominant kernel (largest share of baseline
+runtime), compare the register footprint of the warp-specialized thread
+block under uniform allocation (current GPUs: every warp gets the
+maximum stage's count) and WASP's per-stage allocation, both normalized
+to the original non-specialized kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.core.mapping import register_footprint
+from repro.experiments.configs import baseline_config
+from repro.experiments.runner import GLOBAL_CACHE, run_kernel
+from repro.experiments.reporting import format_table
+from repro.workloads import all_benchmarks, get_benchmark
+
+
+@dataclass
+class Fig16Row:
+    benchmark: str
+    kernel: str
+    original_regs: int
+    uniform_ratio: float    # uniform warp-specialized / original
+    per_stage_ratio: float  # WASP per-stage / original
+    savings: float          # 1 - per_stage/uniform
+
+
+@dataclass
+class Fig16Result:
+    rows: list[Fig16Row] = field(default_factory=list)
+
+    def mean_savings(self) -> float:
+        applicable = [r.savings for r in self.rows if r.uniform_ratio > 0]
+        return sum(applicable) / len(applicable) if applicable else 0.0
+
+    def to_text(self) -> str:
+        table_rows = [
+            (
+                r.benchmark, r.kernel, r.original_regs,
+                f"{r.uniform_ratio:.2f}x", f"{r.per_stage_ratio:.2f}x",
+                f"{100 * r.savings:.0f}%",
+            )
+            for r in self.rows
+        ]
+        table_rows.append(
+            ("MEAN", "", "", "", "", f"{100 * self.mean_savings():.0f}%")
+        )
+        return format_table(
+            ["Benchmark", "Kernel", "OrigRegs", "Uniform", "PerStage",
+             "Savings"],
+            table_rows,
+            title="Figure 16: register footprint per thread block "
+                  "(normalized to non-specialized)",
+        )
+
+
+def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig16Result:
+    """Regenerate Figure 16."""
+    cache = GLOBAL_CACHE
+    base_cfg = baseline_config()
+    compiler = WaspCompiler(WaspCompilerOptions())
+    result = Fig16Result()
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        dominant = max(
+            benchmark.kernels,
+            key=lambda k: k.weight * run_kernel(k, base_cfg, cache).cycles,
+        )
+        compiled = compiler.compile(
+            dominant.program, num_warps=dominant.launch.num_warps
+        )
+        width = dominant.launch.warp_width
+        original = register_footprint(
+            None,
+            num_warps=dominant.launch.num_warps,
+            program_registers=dominant.program.register_count(),
+            threads_per_warp=width,
+            per_stage=False,
+        )
+        if compiled.specialized:
+            spec = compiled.program.tb_spec
+            uniform = spec.uniform_register_footprint(width)
+            per_stage = spec.per_stage_register_footprint(width)
+        else:
+            uniform = per_stage = original
+        result.rows.append(
+            Fig16Row(
+                benchmark=name,
+                kernel=dominant.name,
+                original_regs=dominant.program.register_count(),
+                uniform_ratio=uniform / original,
+                per_stage_ratio=per_stage / original,
+                savings=1.0 - per_stage / uniform if uniform else 0.0,
+            )
+        )
+    return result

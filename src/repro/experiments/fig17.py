@@ -1,0 +1,64 @@
+"""Figure 17: pipeline-aware warp scheduling policies vs GTO.
+
+All configurations run the full WASP hardware and compiler; only the
+scheduling policy differs.  The reference is the baseline
+greedy-then-oldest scheduler on the same hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.configs import (
+    gto_wasp_hw_config,
+    scheduling_policy_configs,
+)
+from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.reporting import format_table, geomean
+from repro.workloads import all_benchmarks, get_benchmark
+
+
+@dataclass
+class Fig17Result:
+    policy_names: list[str]
+    rows: list[tuple[str, list[float]]] = field(default_factory=list)
+
+    def geomeans(self) -> list[float]:
+        return [
+            geomean(row[1][idx] for row in self.rows)
+            for idx in range(len(self.policy_names))
+        ]
+
+    def best_policy(self) -> str:
+        means = self.geomeans()
+        return self.policy_names[means.index(max(means))]
+
+    def to_text(self) -> str:
+        table_rows = [
+            [name] + [f"{v:.2f}" for v in values]
+            for name, values in self.rows
+        ]
+        table_rows.append(["GEOMEAN"] + [f"{v:.2f}" for v in self.geomeans()])
+        return format_table(
+            ["Benchmark"] + self.policy_names,
+            table_rows,
+            title="Figure 17: scheduling policy speedup over GTO "
+                  "(full WASP hardware)",
+        )
+
+
+def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig17Result:
+    """Regenerate Figure 17."""
+    cache = GLOBAL_CACHE
+    reference = gto_wasp_hw_config()
+    policies = scheduling_policy_configs()
+    result = Fig17Result(policy_names=[c.name for c in policies])
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        gto_cycles = run_benchmark(benchmark, reference, cache).total_cycles
+        speedups = [
+            gto_cycles / run_benchmark(benchmark, cfg, cache).total_cycles
+            for cfg in policies
+        ]
+        result.rows.append((name, speedups))
+    return result

@@ -1,0 +1,67 @@
+"""Figure 18: performance vs register-file-queue size.
+
+Queue depth trades overlap against register pressure: more entries
+buffer more in-flight data, but RFQ storage competes with thread blocks
+for the register file.  The paper finds 32 entries per channel the best
+balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.configs import baseline_config, wasp_gpu_config
+from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.reporting import format_table, geomean
+from repro.workloads import all_benchmarks, get_benchmark
+
+DEFAULT_SIZES = (8, 16, 32, 64, 128)
+
+
+@dataclass
+class Fig18Result:
+    sizes: list[int]
+    rows: list[tuple[str, list[float]]] = field(default_factory=list)
+
+    def geomeans(self) -> list[float]:
+        return [
+            geomean(row[1][idx] for row in self.rows)
+            for idx in range(len(self.sizes))
+        ]
+
+    def best_size(self) -> int:
+        means = self.geomeans()
+        return self.sizes[means.index(max(means))]
+
+    def to_text(self) -> str:
+        table_rows = [
+            [name] + [f"{v:.2f}" for v in values]
+            for name, values in self.rows
+        ]
+        table_rows.append(["GEOMEAN"] + [f"{v:.2f}" for v in self.geomeans()])
+        return format_table(
+            ["Benchmark"] + [f"{s} entries" for s in self.sizes],
+            table_rows,
+            title="Figure 18: WASP speedup over BASELINE vs RFQ size",
+        )
+
+
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+) -> Fig18Result:
+    """Regenerate Figure 18."""
+    cache = GLOBAL_CACHE
+    base_cfg = baseline_config()
+    result = Fig18Result(sizes=list(sizes))
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        base_cycles = run_benchmark(benchmark, base_cfg, cache).total_cycles
+        speedups = []
+        for size in sizes:
+            cfg = wasp_gpu_config(rfq_size=size)
+            cycles = run_benchmark(benchmark, cfg, cache).total_cycles
+            speedups.append(base_cycles / cycles)
+        result.rows.append((name, speedups))
+    return result

@@ -1,0 +1,109 @@
+"""Figure 19: dynamic instructions by category for B / W / T.
+
+B = baseline kernels, W = WASP with software address generation (no
+offload), T = WASP-TMA.  Counts are processing-block issue slots
+(TMA-offloaded traffic does not consume issue slots, which is exactly
+the reduction the figure shows), normalized per benchmark to B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compiler import WaspCompilerOptions
+from repro.experiments.configs import EvalConfig, baseline_config
+from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.reporting import format_table
+from repro.isa.opcodes import InstrCategory
+from repro.sim.config import wasp_gpu
+from repro.workloads import all_benchmarks, get_benchmark
+
+_CATEGORY_ORDER = [
+    InstrCategory.MEMORY,
+    InstrCategory.ADDRGEN,
+    InstrCategory.CONTROL,
+    InstrCategory.COMPUTE,
+    InstrCategory.QUEUE,
+    InstrCategory.SYNC,
+    InstrCategory.TMA,
+]
+
+
+@dataclass
+class Fig19Row:
+    benchmark: str
+    variant: str  # 'B', 'W' or 'T'
+    total: int
+    by_category: dict[InstrCategory, int]
+    normalized_total: float
+
+
+@dataclass
+class Fig19Result:
+    rows: list[Fig19Row] = field(default_factory=list)
+
+    def variants_of(self, benchmark: str) -> dict[str, Fig19Row]:
+        return {
+            r.variant: r for r in self.rows if r.benchmark == benchmark
+        }
+
+    def to_text(self) -> str:
+        headers = ["Benchmark", "Cfg", "Total", "Norm"] + [
+            c.value for c in _CATEGORY_ORDER
+        ]
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [row.benchmark, row.variant, row.total,
+                 f"{row.normalized_total:.2f}"]
+                + [row.by_category.get(c, 0) for c in _CATEGORY_ORDER]
+            )
+        return format_table(
+            headers, table_rows,
+            title="Figure 19: dynamic instructions executed "
+                  "(B=baseline, W=WASP software addr-gen, T=WASP-TMA)",
+        )
+
+
+def _configs() -> list[EvalConfig]:
+    software = WaspCompilerOptions(enable_tma_offload=False)
+    hardware = WaspCompilerOptions()
+    return [
+        baseline_config(),
+        EvalConfig("W", software, wasp_gpu()),
+        EvalConfig("T", hardware, wasp_gpu()),
+    ]
+
+
+def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig19Result:
+    """Regenerate Figure 19."""
+    cache = GLOBAL_CACHE
+    configs = _configs()
+    labels = ["B", "W", "T"]
+    result = Fig19Result()
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        baseline_total = None
+        for label, cfg in zip(labels, configs):
+            bench_result = run_benchmark(benchmark, cfg, cache)
+            total = 0
+            by_category: dict[InstrCategory, int] = {}
+            for kres in bench_result.kernels:
+                weight = kres.kernel.weight
+                total += int(weight * kres.sim.issued_total)
+                for cat, count in kres.sim.issued_by_category.items():
+                    by_category[cat] = (
+                        by_category.get(cat, 0) + int(weight * count)
+                    )
+            if baseline_total is None:
+                baseline_total = max(1, total)
+            result.rows.append(
+                Fig19Row(
+                    benchmark=name,
+                    variant=label,
+                    total=total,
+                    by_category=by_category,
+                    normalized_total=total / baseline_total,
+                )
+            )
+    return result

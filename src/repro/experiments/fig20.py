@@ -1,0 +1,81 @@
+"""Figure 20: sensitivity to memory bandwidth (½x / 1x / 2x).
+
+L2 and DRAM bandwidth are scaled together on both the baseline A100 and
+the WASP GPU; all six configurations are normalized to the 1x baseline.
+The paper's headline observations: WASP at ½ bandwidth reaches the
+baseline at 1x for bandwidth-sensitive applications, and WASP extracts
+more of the extra bandwidth at 2x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.experiments.configs import baseline_config, wasp_gpu_config
+from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.reporting import format_table, geomean
+from repro.workloads import all_benchmarks, get_benchmark
+
+FACTORS = (0.5, 1.0, 2.0)
+
+
+@dataclass
+class Fig20Result:
+    labels: list[str]
+    rows: list[tuple[str, list[float]]] = field(default_factory=list)
+
+    def geomeans(self) -> list[float]:
+        return [
+            geomean(row[1][idx] for row in self.rows)
+            for idx in range(len(self.labels))
+        ]
+
+    def value(self, benchmark: str, label: str) -> float:
+        idx = self.labels.index(label)
+        for name, values in self.rows:
+            if name == benchmark:
+                return values[idx]
+        raise KeyError(benchmark)
+
+    def to_text(self) -> str:
+        table_rows = [
+            [name] + [f"{v:.2f}" for v in values]
+            for name, values in self.rows
+        ]
+        table_rows.append(["GEOMEAN"] + [f"{v:.2f}" for v in self.geomeans()])
+        return format_table(
+            ["Benchmark"] + self.labels,
+            table_rows,
+            title="Figure 20: speedup vs A100 1x under scaled "
+                  "L2+DRAM bandwidth",
+        )
+
+
+def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig20Result:
+    """Regenerate Figure 20."""
+    cache = GLOBAL_CACHE
+    configs = []
+    labels = []
+    for base_cfg, tag in (
+        (baseline_config(), "A100"), (wasp_gpu_config(), "WASP")
+    ):
+        for factor in FACTORS:
+            configs.append(
+                replace(
+                    base_cfg,
+                    name=f"{tag} {factor:g}x",
+                    gpu=base_cfg.gpu.scale_bandwidth(factor),
+                )
+            )
+            labels.append(f"{tag} {factor:g}x")
+    result = Fig20Result(labels=labels)
+    reference_idx = labels.index("A100 1x")
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        totals = [
+            run_benchmark(benchmark, cfg, cache).total_cycles
+            for cfg in configs
+        ]
+        reference = totals[reference_idx]
+        result.rows.append((name, [reference / t for t in totals]))
+    return result

@@ -1,0 +1,86 @@
+"""Figure 21: L2 bandwidth utilization, BASELINE vs WASP.
+
+Per benchmark, the cycle-weighted mean of each kernel's L2 utilization
+(work delivered over peak bandwidth for the kernel's duration).  DRAM
+utilization and L1 hit rates are reported alongside because the paper
+attributes part of some speedups to better L1 locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.configs import baseline_config, wasp_gpu_config
+from repro.experiments.runner import BenchmarkResult, GLOBAL_CACHE, run_benchmark
+from repro.experiments.reporting import format_table
+from repro.workloads import all_benchmarks, get_benchmark
+
+
+@dataclass
+class Fig21Row:
+    benchmark: str
+    baseline_l2: float
+    wasp_l2: float
+    baseline_dram: float
+    wasp_dram: float
+    baseline_l1_hit: float
+    wasp_l1_hit: float
+
+
+@dataclass
+class Fig21Result:
+    rows: list[Fig21Row] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        return format_table(
+            ["Benchmark", "L2 base", "L2 WASP", "DRAM base", "DRAM WASP",
+             "L1hit base", "L1hit WASP"],
+            [
+                (
+                    r.benchmark,
+                    f"{100 * r.baseline_l2:.0f}%", f"{100 * r.wasp_l2:.0f}%",
+                    f"{100 * r.baseline_dram:.0f}%",
+                    f"{100 * r.wasp_dram:.0f}%",
+                    f"{100 * r.baseline_l1_hit:.0f}%",
+                    f"{100 * r.wasp_l1_hit:.0f}%",
+                )
+                for r in self.rows
+            ],
+            title="Figure 21: L2 bandwidth utilization "
+                  "(BASELINE vs WASP_GPU)",
+        )
+
+
+def _weighted_util(result: BenchmarkResult, attr: str) -> float:
+    total_time = sum(k.kernel.weight * k.cycles for k in result.kernels)
+    if total_time <= 0:
+        return 0.0
+    weighted = sum(
+        k.kernel.weight * k.cycles * getattr(k.sim, attr)
+        for k in result.kernels
+    )
+    return weighted / total_time
+
+
+def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig21Result:
+    """Regenerate Figure 21."""
+    cache = GLOBAL_CACHE
+    base_cfg = baseline_config()
+    wasp_cfg = wasp_gpu_config()
+    result = Fig21Result()
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        base = run_benchmark(benchmark, base_cfg, cache)
+        wasp = run_benchmark(benchmark, wasp_cfg, cache)
+        result.rows.append(
+            Fig21Row(
+                benchmark=name,
+                baseline_l2=_weighted_util(base, "l2_utilization"),
+                wasp_l2=_weighted_util(wasp, "l2_utilization"),
+                baseline_dram=_weighted_util(base, "dram_utilization"),
+                wasp_dram=_weighted_util(wasp, "dram_utilization"),
+                baseline_l1_hit=_weighted_util(base, "l1_hit_rate"),
+                wasp_l1_hit=_weighted_util(wasp, "l1_hit_rate"),
+            )
+        )
+    return result

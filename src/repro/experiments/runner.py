@@ -1,0 +1,227 @@
+"""Kernel and benchmark execution under evaluation configurations.
+
+Compilation and functional execution (the expensive trace generation)
+are cached per (kernel, compiler options); timing replays are cheap and
+run per GPU configuration.  Per-kernel opt-in mirrors the paper: the
+specialized version is used only where it beats the unspecialized
+kernel on the same hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.compiler import (
+    CompileResult,
+    WaspCompiler,
+    WaspCompilerOptions,
+)
+from repro.errors import CompilerError, ResourceError
+from repro.experiments.configs import EvalConfig
+from repro.fexec.machine import run_kernel as run_functional
+from repro.fexec.trace import KernelTrace
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import SimResult, simulate_kernel
+from repro.workloads.base import Benchmark, Kernel
+
+_OPT_KEY_FIELDS = (
+    "enable_streaming",
+    "enable_tile",
+    "enable_tma_offload",
+    "double_buffering",
+    "max_stages",
+    "queue_size",
+)
+
+
+def _options_key(options: WaspCompilerOptions | None):
+    if options is None:
+        return None
+    return tuple(getattr(options, f) for f in _OPT_KEY_FIELDS)
+
+
+@dataclass
+class _TraceEntry:
+    traces: list[KernelTrace]
+    compile_result: CompileResult | None
+
+
+class TraceCache:
+    """Caches functional traces per (kernel, compiler options)."""
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[int, object], _TraceEntry] = {}
+
+    def original(self, kernel: Kernel) -> _TraceEntry:
+        return self._get(kernel, None)
+
+    def specialized(
+        self, kernel: Kernel, options: WaspCompilerOptions
+    ) -> _TraceEntry | None:
+        entry = self._get(kernel, options)
+        if entry.compile_result is not None and (
+            not entry.compile_result.specialized
+        ):
+            return None
+        return entry
+
+    def _get(
+        self, kernel: Kernel, options: WaspCompilerOptions | None
+    ) -> _TraceEntry:
+        key = (id(kernel), _options_key(options))
+        entry = self._entries.get(key)
+        if entry is not None:
+            return entry
+        if options is None:
+            traces = run_functional(
+                kernel.program, kernel.image_factory(), kernel.launch
+            ).traces
+            entry = _TraceEntry(traces=traces, compile_result=None)
+        else:
+            compiler = WaspCompiler(options)
+            result = compiler.compile(
+                kernel.program, num_warps=kernel.launch.num_warps
+            )
+            if result.specialized:
+                launch = replace(
+                    kernel.launch,
+                    num_warps=kernel.launch.num_warps * result.num_stages,
+                )
+                traces = run_functional(
+                    result.program, kernel.image_factory(), launch
+                ).traces
+            else:
+                traces = []
+            entry = _TraceEntry(traces=traces, compile_result=result)
+        self._entries[key] = entry
+        return entry
+
+
+_GLOBAL_CACHE = TraceCache()
+
+# Public shared cache: experiment modules and benches reuse functional
+# traces across figures (kernels are keyed by object identity, so
+# different scales never collide).
+GLOBAL_CACHE = _GLOBAL_CACHE
+
+
+@dataclass
+class KernelResult:
+    """Timing of one kernel under one configuration."""
+
+    kernel: Kernel
+    config_name: str
+    cycles: float
+    sim: SimResult
+    used_specialized: bool
+    compile_result: CompileResult | None = None
+    fallback_sim: SimResult | None = None
+
+
+@dataclass
+class BenchmarkResult:
+    """Weighted benchmark aggregate."""
+
+    benchmark: Benchmark
+    config_name: str
+    kernels: list[KernelResult] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(k.kernel.weight * k.cycles for k in self.kernels)
+
+
+def _compiler_options_for(
+    kernel: Kernel, config: EvalConfig
+) -> WaspCompilerOptions | None:
+    if config.compiler is not None:
+        return replace(config.compiler, queue_size=config.gpu.rfq_size)
+    if kernel.is_gemm and config.cutlass_gemm:
+        # CUTLASS model: tile pipeline on GEMM kernels, even at baseline.
+        return WaspCompilerOptions(
+            enable_streaming=False, enable_tma_offload=False
+        )
+    return None
+
+
+def _gpu_for(kernel: Kernel, config: EvalConfig) -> GPUConfig:
+    if (
+        kernel.is_gemm
+        and config.cutlass_gemm
+        and config.compiler is None
+    ):
+        # Idealized warp mapping for the CUTLASS baseline (Section V-A).
+        from repro.experiments.configs import _cutlass_gpu
+
+        return _cutlass_gpu(config.gpu)
+    return config.gpu
+
+
+def run_kernel(
+    kernel: Kernel,
+    config: EvalConfig,
+    cache: TraceCache | None = None,
+) -> KernelResult:
+    """Time one kernel under ``config`` (with per-kernel opt-in)."""
+    cache = cache or _GLOBAL_CACHE
+    gpu = _gpu_for(kernel, config)
+    options = _compiler_options_for(kernel, config)
+
+    plain = cache.original(kernel)
+    plain_sim = simulate_kernel(plain.traces, gpu)
+
+    if options is None:
+        return KernelResult(
+            kernel=kernel,
+            config_name=config.name,
+            cycles=plain_sim.cycles,
+            sim=plain_sim,
+            used_specialized=False,
+        )
+
+    entry = None
+    try:
+        entry = cache.specialized(kernel, options)
+    except CompilerError:
+        entry = None
+    spec_sim = None
+    if entry is not None:
+        try:
+            spec_sim = simulate_kernel(entry.traces, gpu)
+        except ResourceError:
+            spec_sim = None
+
+    use_spec = spec_sim is not None and (
+        not config.opt_in or spec_sim.cycles < plain_sim.cycles
+    )
+    if use_spec:
+        return KernelResult(
+            kernel=kernel,
+            config_name=config.name,
+            cycles=spec_sim.cycles,
+            sim=spec_sim,
+            used_specialized=True,
+            compile_result=entry.compile_result,
+            fallback_sim=plain_sim,
+        )
+    return KernelResult(
+        kernel=kernel,
+        config_name=config.name,
+        cycles=plain_sim.cycles,
+        sim=plain_sim,
+        used_specialized=False,
+        compile_result=entry.compile_result if entry else None,
+        fallback_sim=plain_sim,
+    )
+
+
+def run_benchmark(
+    benchmark: Benchmark,
+    config: EvalConfig,
+    cache: TraceCache | None = None,
+) -> BenchmarkResult:
+    """Time every kernel of a benchmark under ``config``."""
+    result = BenchmarkResult(benchmark=benchmark, config_name=config.name)
+    for kernel in benchmark.kernels:
+        result.kernels.append(run_kernel(kernel, config, cache))
+    return result

@@ -1,0 +1,67 @@
+"""Table II: per-benchmark median / maximum kernel speedup with WASP."""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+from repro.experiments.configs import baseline_config, wasp_gpu_config
+from repro.experiments.runner import GLOBAL_CACHE, run_kernel
+from repro.experiments.reporting import format_table
+from repro.workloads import all_benchmarks, get_benchmark
+
+
+@dataclass
+class Table2Row:
+    name: str
+    category: str
+    num_kernels: int
+    median_speedup: float
+    max_speedup: float
+    description: str
+
+
+@dataclass
+class Table2Result:
+    rows: list[Table2Row] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        return format_table(
+            ["Name", "Category", "#Kernels", "Median", "Max", "Description"],
+            [
+                (
+                    r.name, r.category, r.num_kernels,
+                    f"{r.median_speedup:.2f}x", f"{r.max_speedup:.2f}x",
+                    r.description,
+                )
+                for r in self.rows
+            ],
+            title="Table II: kernel speedups with WASP "
+                  "(WASP_GPU vs BASELINE, per kernel)",
+        )
+
+
+def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Table2Result:
+    """Regenerate Table II's speedup columns."""
+    cache = GLOBAL_CACHE
+    base_cfg = baseline_config()
+    wasp_cfg = wasp_gpu_config()
+    result = Table2Result()
+    for name in benchmarks or all_benchmarks():
+        benchmark = get_benchmark(name, scale)
+        speedups = []
+        for kernel in benchmark.kernels:
+            base = run_kernel(kernel, base_cfg, cache)
+            wasp = run_kernel(kernel, wasp_cfg, cache)
+            speedups.append(base.cycles / wasp.cycles)
+        result.rows.append(
+            Table2Row(
+                name=benchmark.name,
+                category=benchmark.category,
+                num_kernels=len(benchmark.kernels),
+                median_speedup=statistics.median(speedups),
+                max_speedup=max(speedups),
+                description=benchmark.description,
+            )
+        )
+    return result

@@ -1,0 +1,32 @@
+"""Table IV: WASP area overhead (storage requirements)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.area import AreaBreakdown, AreaParameters, compute_area
+from repro.experiments.reporting import format_table
+
+
+@dataclass
+class Table4Result:
+    breakdown: AreaBreakdown
+
+    @property
+    def rows(self) -> list[tuple[str, float, float]]:
+        return self.breakdown.rows()
+
+    def to_text(self) -> str:
+        return format_table(
+            ["Item", "Bytes per SM", "~KB per GPU"],
+            [
+                (name, f"{per_sm:.0f}", f"{per_gpu:.1f}")
+                for name, per_sm, per_gpu in self.rows
+            ],
+            title="Table IV: WASP area overhead (storage requirements)",
+        )
+
+
+def run(params: AreaParameters | None = None) -> Table4Result:
+    """Regenerate Table IV."""
+    return Table4Result(breakdown=compute_area(params))

@@ -1,0 +1,32 @@
+"""Functional execution substrate.
+
+This package interprets kernels written in :mod:`repro.isa` at warp
+granularity (each register holds a warp-wide vector of lane values) and
+produces two artifacts:
+
+* the architectural side effects (final global-memory contents), used by
+  the functional-equivalence tests between original and warp-specialized
+  programs, and
+* per-warp **dynamic instruction traces** with resolved control flow,
+  coalesced memory sectors, queue pushes/pops and barrier events — the
+  input consumed by the timing simulator in :mod:`repro.sim`.
+
+Execution is cooperative: warps are stepped round-robin and block on
+queue-empty/full and barrier conditions, which both defines the reference
+semantics for WASP pipelines and detects deadlocks in compiler output.
+"""
+
+from repro.fexec.memory_image import MemoryImage
+from repro.fexec.launch import LaunchConfig
+from repro.fexec.trace import DynamicInstr, KernelTrace, WarpTrace
+from repro.fexec.machine import FunctionalMachine, run_kernel
+
+__all__ = [
+    "DynamicInstr",
+    "FunctionalMachine",
+    "KernelTrace",
+    "LaunchConfig",
+    "MemoryImage",
+    "WarpTrace",
+    "run_kernel",
+]

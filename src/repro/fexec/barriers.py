@@ -1,0 +1,66 @@
+"""Functional barrier state: BAR.SYNC and arrive/wait barriers.
+
+Arrive/wait semantics follow CudaDMA (paper Section II-B): ``BAR.ARRIVE``
+registers arrival and continues; the *n*-th ``BAR.WAIT`` by a warp blocks
+until ``initial_credit + arrivals >= n * expected`` where ``expected`` is
+the number of warps that arrive per generation.  Buffers that start empty
+are modelled with an initial credit (the paper: "barrier A is initially
+set as arrived").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ArriveWaitBarrier:
+    """State of one named arrive/wait barrier."""
+
+    barrier_id: str
+    expected: int = 1
+    initial_credit: int = 0
+    arrivals: int = 0
+    wait_counts: dict[int, int] = field(default_factory=dict)
+
+    def arrive(self) -> None:
+        self.arrivals += 1
+
+    def can_pass(self, warp_id: int) -> bool:
+        """Would the next wait by ``warp_id`` pass right now?"""
+        n = self.wait_counts.get(warp_id, 0) + 1
+        return self.initial_credit + self.arrivals >= n * self.expected
+
+    def wait(self, warp_id: int) -> None:
+        """Record a successful (passing) wait; call only if can_pass()."""
+        self.wait_counts[warp_id] = self.wait_counts.get(warp_id, 0) + 1
+
+
+@dataclass
+class SyncBarrier:
+    """Classic all-warps thread-block barrier with phase counting."""
+
+    barrier_id: str
+    num_warps: int
+    phase_counts: dict[int, int] = field(default_factory=dict)
+    warp_phase: dict[int, int] = field(default_factory=dict)
+
+    def mark_arrived(self, warp_id: int) -> None:
+        """Warp reaches its next sync point (idempotent per phase)."""
+        phase = self.warp_phase.get(warp_id, 0)
+        key = (warp_id, phase)
+        if key not in self._arrived():
+            self._arrived().add(key)
+            self.phase_counts[phase] = self.phase_counts.get(phase, 0) + 1
+
+    def _arrived(self) -> set:
+        if not hasattr(self, "_arrived_set"):
+            self._arrived_set: set = set()
+        return self._arrived_set
+
+    def can_pass(self, warp_id: int) -> bool:
+        phase = self.warp_phase.get(warp_id, 0)
+        return self.phase_counts.get(phase, 0) >= self.num_warps
+
+    def passed(self, warp_id: int) -> None:
+        self.warp_phase[warp_id] = self.warp_phase.get(warp_id, 0) + 1

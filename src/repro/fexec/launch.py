@@ -1,0 +1,40 @@
+"""Kernel launch configuration.
+
+Mirrors the CUDA launch plus WASP's extended thread-block dimension
+(Section III-A): ``{dim.x, dim.y, dim.z, num_pipeline_stages}``.  The
+reproduction flattens thread dimensions to a warp count; the pipeline
+dimension comes from the attached thread-block specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """How a kernel is launched on one SM.
+
+    Attributes:
+        num_warps: Warps per thread block.
+        warp_width: Lanes per warp (32 on real GPUs; smaller widths make
+            tests faster without changing pipeline behaviour).
+        num_thread_blocks: Thread blocks launched (each runs the same
+            program with a distinct ``TB_ID``).
+        params: Kernel parameters by name; kernels read them through the
+            builder-bound immediates created by workload models.
+    """
+
+    num_warps: int = 4
+    warp_width: int = 32
+    num_thread_blocks: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_warps <= 0:
+            raise SimulationError("num_warps must be positive")
+        if self.warp_width <= 0:
+            raise SimulationError("warp_width must be positive")
+        if self.num_thread_blocks <= 0:
+            raise SimulationError("num_thread_blocks must be positive")

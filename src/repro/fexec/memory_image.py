@@ -1,0 +1,124 @@
+"""Global-memory image for functional execution.
+
+Addresses throughout the reproduction are **4-byte word indices** (not
+byte addresses); a DRAM/L2 *sector* is 32 bytes, i.e. 8 consecutive
+words.  Values are stored as float64, which represents both float data
+and integer indices (exact up to 2^53) without a tag bit per word.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+WORDS_PER_SECTOR = 8  # 32-byte sectors of 4-byte words
+
+
+class MemoryImage:
+    """A flat global-memory address space with a bump allocator.
+
+    Workloads allocate named arrays with :meth:`alloc`, write initial
+    contents, and hand the image to the executor.  The image can be
+    cloned so baseline and WASP runs of the same kernel start from
+    identical state.
+    """
+
+    def __init__(self, size_words: int = 1 << 22) -> None:
+        if size_words <= 0:
+            raise ExecutionError("memory image must have positive size")
+        self._words = np.zeros(size_words, dtype=np.float64)
+        self._next_free = 64  # keep address 0 unused to catch bugs
+        self._arrays: dict[str, tuple[int, int]] = {}
+
+    @property
+    def size_words(self) -> int:
+        return len(self._words)
+
+    # -- allocation ---------------------------------------------------------
+
+    def alloc(self, name: str, length: int, align: int = WORDS_PER_SECTOR) -> int:
+        """Reserve ``length`` words under ``name``; returns base address."""
+        if name in self._arrays:
+            raise ExecutionError(f"array {name!r} already allocated")
+        if length <= 0:
+            raise ExecutionError(f"array {name!r} must have positive length")
+        base = -(-self._next_free // align) * align
+        if base + length > len(self._words):
+            raise ExecutionError(
+                f"out of memory allocating {name!r} ({length} words)"
+            )
+        self._arrays[name] = (base, length)
+        self._next_free = base + length
+        return base
+
+    def base(self, name: str) -> int:
+        """Base address of a previously allocated array."""
+        return self._arrays[name][0]
+
+    def extent(self, name: str) -> tuple[int, int]:
+        """(base, length) of a previously allocated array."""
+        return self._arrays[name]
+
+    def array_names(self) -> list[str]:
+        return sorted(self._arrays)
+
+    # -- typed array views ----------------------------------------------
+
+    def write_array(self, name: str, values: np.ndarray) -> None:
+        """Store ``values`` (cast to float64) into the named array."""
+        base, length = self._arrays[name]
+        data = np.asarray(values, dtype=np.float64).ravel()
+        if len(data) > length:
+            raise ExecutionError(
+                f"writing {len(data)} words into {name!r} of length {length}"
+            )
+        self._words[base : base + len(data)] = data
+
+    def read_array(self, name: str) -> np.ndarray:
+        """A copy of the named array's contents."""
+        base, length = self._arrays[name]
+        return self._words[base : base + length].copy()
+
+    # -- word access --------------------------------------------------------
+
+    def load(self, addresses: np.ndarray) -> np.ndarray:
+        """Vector load; ``addresses`` are word indices."""
+        idx = np.asarray(addresses, dtype=np.int64)
+        if idx.min(initial=0) < 0 or idx.max(initial=0) >= len(self._words):
+            raise ExecutionError(
+                f"global load out of bounds: {idx.min()}..{idx.max()}"
+            )
+        return self._words[idx]
+
+    def store(self, addresses: np.ndarray, values: np.ndarray) -> None:
+        """Vector store; later lanes win on address collisions."""
+        idx = np.asarray(addresses, dtype=np.int64)
+        if idx.min(initial=0) < 0 or idx.max(initial=0) >= len(self._words):
+            raise ExecutionError(
+                f"global store out of bounds: {idx.min()}..{idx.max()}"
+            )
+        self._words[idx] = np.asarray(values, dtype=np.float64)
+
+    # -- misc -----------------------------------------------------------
+
+    def clone(self) -> "MemoryImage":
+        copy = MemoryImage.__new__(MemoryImage)
+        copy._words = self._words.copy()
+        copy._next_free = self._next_free
+        copy._arrays = dict(self._arrays)
+        return copy
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the full word array (for equivalence checks)."""
+        return self._words.copy()
+
+
+def sectors_of(addresses: np.ndarray) -> tuple[int, ...]:
+    """Distinct 32-byte sector ids touched by a vector of word addresses.
+
+    This is the coalescing model: a warp-wide access costs one memory
+    transaction per distinct sector.
+    """
+    idx = np.asarray(addresses, dtype=np.int64) // WORDS_PER_SECTOR
+    return tuple(np.unique(idx).tolist())

@@ -1,0 +1,37 @@
+"""Functional named-queue state.
+
+Functional queues follow Kahn-network semantics: FIFO, blocking pop,
+non-blocking push (capacity is a *timing* property enforced by the
+simulator, not a functional one — a warp-specialized program computes the
+same values for any positive capacity).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+
+class FunctionalQueue:
+    """One named queue carrying warp-wide value vectors."""
+
+    def __init__(self, queue_id: int) -> None:
+        self.queue_id = queue_id
+        self._entries: deque[np.ndarray] = deque()
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    def push(self, value: np.ndarray) -> None:
+        self._entries.append(np.asarray(value, dtype=np.float64))
+        self.total_pushed += 1
+
+    def can_pop(self) -> bool:
+        return bool(self._entries)
+
+    def pop(self) -> np.ndarray:
+        self.total_popped += 1
+        return self._entries.popleft()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,111 @@
+"""Dynamic instruction traces.
+
+The functional executor resolves control flow, addresses and queue
+traffic, and emits one :class:`DynamicInstr` per executed instruction per
+warp.  The timing simulator replays these streams, re-enforcing register,
+queue and barrier dependences at cycle granularity.
+
+Register identifiers in traces are flat integers: architectural register
+``Ri`` maps to ``i`` and predicate ``Pi`` to ``PRED_BASE + i``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.isa.opcodes import FuncUnit, InstrCategory, Opcode
+
+PRED_BASE = 1 << 16
+
+
+@dataclass(slots=True)
+class DynamicInstr:
+    """One executed instruction in a warp's dynamic stream.
+
+    Attributes:
+        opcode: The executed opcode.
+        unit: Functional unit (drives latency/throughput in the sim).
+        category: Figure-19 category tag carried over from the static
+            instruction (possibly refined by the compiler).
+        dst_regs: Flat ids of registers/predicates written.
+        src_regs: Flat ids of registers/predicates read (incl. guard).
+        queue_push: Queue id pushed to, or ``None``.
+        queue_pop: Queue id popped from, or ``None``.
+        barrier_id: Barrier name for BAR.* instructions.
+        sectors: Distinct global-memory sector ids touched (loads/stores).
+        is_store: True for global stores (no register writeback to wait on).
+        smem_words: Shared-memory words moved (SMEM bandwidth model).
+        tma_job: Offload descriptor for TMA configuration instructions.
+    """
+
+    opcode: Opcode
+    unit: FuncUnit
+    category: InstrCategory
+    dst_regs: tuple[int, ...] = ()
+    src_regs: tuple[int, ...] = ()
+    queue_push: int | None = None
+    queue_pop: int | None = None
+    barrier_id: str | None = None
+    sectors: tuple[int, ...] = ()
+    is_store: bool = False
+    smem_words: int = 0
+    tma_job: dict[str, Any] | None = None
+
+
+@dataclass
+class WarpTrace:
+    """The ordered dynamic stream of one warp, plus summary counters."""
+
+    warp_id: int
+    pipe_stage_id: int
+    instrs: list[DynamicInstr] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def count_by_category(self) -> dict[InstrCategory, int]:
+        counts: dict[InstrCategory, int] = {}
+        for instr in self.instrs:
+            counts[instr.category] = counts.get(instr.category, 0) + 1
+        return counts
+
+    def total_sectors(self) -> int:
+        total = sum(len(i.sectors) for i in self.instrs)
+        for instr in self.instrs:
+            if instr.tma_job is not None:
+                total += instr.tma_job.get("total_sectors", 0)
+        return total
+
+
+@dataclass
+class KernelTrace:
+    """All warp traces of one thread block execution.
+
+    ``queue_lengths`` records how many entries flowed through each named
+    queue (used for sanity checks and reporting); ``barrier_arrivals``
+    counts arrive events per barrier.
+    """
+
+    kernel_name: str
+    num_warps: int
+    warp_width: int
+    warps: list[WarpTrace] = field(default_factory=list)
+    queue_lengths: dict[int, int] = field(default_factory=dict)
+    barrier_arrivals: dict[str, int] = field(default_factory=dict)
+    tb_spec: object | None = None
+    program_registers: int = 0
+    smem_words: int = 0
+
+    def total_instructions(self) -> int:
+        return sum(len(w) for w in self.warps)
+
+    def count_by_category(self) -> dict[InstrCategory, int]:
+        counts: dict[InstrCategory, int] = {}
+        for warp in self.warps:
+            for category, count in warp.count_by_category().items():
+                counts[category] = counts.get(category, 0) + count
+        return counts
+
+    def stage_ids(self) -> list[int]:
+        return sorted({w.pipe_stage_id for w in self.warps})

@@ -1,0 +1,51 @@
+"""SASS-like instruction set architecture for the WASP reproduction.
+
+This package defines the static program representation the WASP compiler
+operates on: a small SASS-flavoured ISA (LDG/STG/LDS/STS/LDGSTS, integer
+and floating-point ALU ops, TensorCore HMMA, barriers, branches, queue
+operands, and TMA configuration instructions), basic blocks, and programs
+with an explicit control-flow graph.
+
+The representation intentionally mirrors the structures the paper's
+binary recompiler sees in NVIDIA SASS (Section IV): virtual registers,
+predicate-guarded branches, named barriers, and shared-memory addressing.
+"""
+
+from repro.isa.opcodes import (
+    FuncUnit,
+    InstrCategory,
+    Opcode,
+    OpcodeInfo,
+    opcode_info,
+)
+from repro.isa.operands import (
+    Immediate,
+    Operand,
+    Predicate,
+    QueueRef,
+    Register,
+    SpecialReg,
+    SpecialRegister,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.program import BasicBlock, Program
+from repro.isa.builder import ProgramBuilder
+
+__all__ = [
+    "BasicBlock",
+    "FuncUnit",
+    "Immediate",
+    "InstrCategory",
+    "Instruction",
+    "Opcode",
+    "OpcodeInfo",
+    "Operand",
+    "Predicate",
+    "Program",
+    "ProgramBuilder",
+    "QueueRef",
+    "Register",
+    "SpecialReg",
+    "SpecialRegister",
+    "opcode_info",
+]

@@ -1,0 +1,264 @@
+"""A small DSL for writing kernels in the SASS-like IR.
+
+The builder keeps a current block, allocates virtual registers and
+predicates, and offers one method per opcode.  Workload models use it to
+express their kernels compactly::
+
+    b = ProgramBuilder("vector_copy", smem_words=0)
+    i = b.reg()           # loop counter
+    ...
+    b.label("loop")
+    addr = b.iadd(base, offset)
+    val = b.ldg(addr)
+    b.stg(out_addr, val)
+    ...
+    b.exit()
+    program = b.finish()
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import IsaError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import (
+    Immediate,
+    Operand,
+    Predicate,
+    QueueRef,
+    Register,
+    SpecialReg,
+    SpecialRegister,
+)
+from repro.isa.program import BasicBlock, Program
+
+
+def _as_operand(value: Operand | int | float) -> Operand:
+    if isinstance(value, Operand):
+        return value
+    return Immediate(value)
+
+
+class ProgramBuilder:
+    """Incrementally builds a :class:`~repro.isa.program.Program`."""
+
+    def __init__(self, name: str, smem_words: int = 0) -> None:
+        self._program = Program(name, smem_words=smem_words)
+        self._current: BasicBlock | None = None
+        self._next_reg = 0
+        self._next_pred = 0
+        self._finished = False
+
+    def alloc_smem(self, name: str, words: int) -> int:
+        """Reserve a named shared-memory buffer; returns its base word.
+
+        The buffer name can be passed to :meth:`lds`/:meth:`sts`/
+        :meth:`ldgsts` so the compiler's double-buffering transformation
+        knows which accesses target which allocation (the analogue of
+        nvdisasm SMEM allocation info).
+        """
+        if name in self._program.smem_buffers:
+            raise IsaError(f"smem buffer {name!r} already allocated")
+        base = self._program.smem_words
+        self._program.smem_buffers[name] = (base, words)
+        self._program.smem_words = base + words
+        return base
+
+    # -- resource allocation --------------------------------------------
+
+    def reg(self) -> Register:
+        """Allocate a fresh virtual register."""
+        reg = Register(self._next_reg)
+        self._next_reg += 1
+        return reg
+
+    def pred(self) -> Predicate:
+        """Allocate a fresh predicate register."""
+        pred = Predicate(self._next_pred)
+        self._next_pred += 1
+        return pred
+
+    def special(self, which: SpecialReg) -> SpecialRegister:
+        return SpecialRegister(which)
+
+    # -- block management -------------------------------------------------
+
+    def label(self, name: str) -> BasicBlock:
+        """Start a new basic block named ``name``."""
+        self._current = self._program.block(name)
+        return self._current
+
+    def _emit(self, instr: Instruction) -> Instruction:
+        if self._finished:
+            raise IsaError("builder already finished")
+        if self._current is None:
+            self._current = self._program.block("entry")
+        self._current.append(instr)
+        return instr
+
+    # -- generic emission ---------------------------------------------------
+
+    def emit(
+        self,
+        opcode: Opcode,
+        dst: Operand | None = None,
+        srcs: list[Operand | int | float] | None = None,
+        **kwargs: Any,
+    ) -> Instruction:
+        operands = [_as_operand(s) for s in (srcs or [])]
+        return self._emit(Instruction(opcode, dst=dst, srcs=operands, **kwargs))
+
+    def _binop(self, opcode: Opcode, a, b, dst: Register | None = None) -> Register:
+        dst = dst or self.reg()
+        self.emit(opcode, dst=dst, srcs=[a, b])
+        return dst
+
+    # -- integer ops ----------------------------------------------------
+
+    def iadd(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.IADD, a, b, dst)
+
+    def imul(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.IMUL, a, b, dst)
+
+    def idiv(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.IDIV, a, b, dst)
+
+    def imad(self, a, b, c, dst: Register | None = None) -> Register:
+        dst = dst or self.reg()
+        self.emit(Opcode.IMAD, dst=dst, srcs=[a, b, c])
+        return dst
+
+    def shl(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.SHL, a, b, dst)
+
+    def shr(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.SHR, a, b, dst)
+
+    def and_(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.AND, a, b, dst)
+
+    def min_(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.MIN, a, b, dst)
+
+    def max_(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.MAX, a, b, dst)
+
+    def mov(self, src, dst: Register | None = None) -> Register:
+        dst = dst or self.reg()
+        self.emit(Opcode.MOV, dst=dst, srcs=[src])
+        return dst
+
+    def sel(self, pred: Predicate, a, b, dst: Register | None = None) -> Register:
+        dst = dst or self.reg()
+        self.emit(Opcode.SEL, dst=dst, srcs=[pred, a, b])
+        return dst
+
+    def isetp(self, op: str, a, b, dst: Predicate | None = None) -> Predicate:
+        """Set predicate from integer comparison; ``op`` in {lt,le,gt,ge,eq,ne}."""
+        if op not in {"lt", "le", "gt", "ge", "eq", "ne"}:
+            raise IsaError(f"bad comparison {op!r}")
+        dst = dst or self.pred()
+        self.emit(Opcode.ISETP, dst=dst, srcs=[a, b], attrs={"cmp": op})
+        return dst
+
+    # -- floating point ---------------------------------------------------
+
+    def fadd(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.FADD, a, b, dst)
+
+    def fmul(self, a, b, dst: Register | None = None) -> Register:
+        return self._binop(Opcode.FMUL, a, b, dst)
+
+    def ffma(self, a, b, c, dst: Register | None = None) -> Register:
+        dst = dst or self.reg()
+        self.emit(Opcode.FFMA, dst=dst, srcs=[a, b, c])
+        return dst
+
+    def frcp(self, a, dst: Register | None = None) -> Register:
+        dst = dst or self.reg()
+        self.emit(Opcode.FRCP, dst=dst, srcs=[a])
+        return dst
+
+    def warp_sum(self, a, dst: Register | None = None) -> Register:
+        """Warp-collective sum of ``a`` across lanes, broadcast to all."""
+        dst = dst or self.reg()
+        self.emit(Opcode.REDUX, dst=dst, srcs=[a])
+        return dst
+
+    def hmma(self, a, b, c, dst: Register | None = None) -> Register:
+        """Warp-collective MMA: d = a*b + c over register fragments."""
+        dst = dst or self.reg()
+        self.emit(Opcode.HMMA, dst=dst, srcs=[a, b, c])
+        return dst
+
+    # -- memory -----------------------------------------------------------
+
+    def ldg(self, addr, dst: Register | QueueRef | None = None) -> Operand:
+        """Load global; ``dst`` may be a queue for decoupled loads."""
+        dst = dst if dst is not None else self.reg()
+        self.emit(Opcode.LDG, dst=dst, srcs=[addr])
+        return dst
+
+    def stg(self, addr, value) -> Instruction:
+        return self.emit(Opcode.STG, srcs=[addr, value])
+
+    def lds(
+        self, addr, dst: Register | None = None, buffer: str | None = None
+    ) -> Register:
+        dst = dst or self.reg()
+        attrs = {"smem_buffer": buffer} if buffer else {}
+        self.emit(Opcode.LDS, dst=dst, srcs=[addr], attrs=attrs)
+        return dst
+
+    def sts(self, addr, value, buffer: str | None = None) -> Instruction:
+        attrs = {"smem_buffer": buffer} if buffer else {}
+        return self.emit(Opcode.STS, srcs=[addr, value], attrs=attrs)
+
+    def ldgsts(self, gaddr, saddr, buffer: str | None = None) -> Instruction:
+        """Fused global->shared copy (operands: global addr, shared addr)."""
+        attrs = {"smem_buffer": buffer} if buffer else {}
+        return self.emit(Opcode.LDGSTS, srcs=[gaddr, saddr], attrs=attrs)
+
+    # -- control flow -------------------------------------------------------
+
+    def bra(
+        self,
+        target: str,
+        guard: Predicate | None = None,
+        negated: bool = False,
+    ) -> Instruction:
+        return self._emit(
+            Instruction(
+                Opcode.BRA, target=target, guard=guard, guard_negated=negated
+            )
+        )
+
+    def exit(self) -> Instruction:
+        return self._emit(Instruction(Opcode.EXIT))
+
+    # -- synchronization ------------------------------------------------
+
+    def bar_sync(self, barrier_id: str = "tb") -> Instruction:
+        return self._emit(Instruction(Opcode.BAR_SYNC, barrier_id=barrier_id))
+
+    def bar_arrive(self, barrier_id: str) -> Instruction:
+        return self._emit(Instruction(Opcode.BAR_ARRIVE, barrier_id=barrier_id))
+
+    def bar_wait(self, barrier_id: str) -> Instruction:
+        return self._emit(Instruction(Opcode.BAR_WAIT, barrier_id=barrier_id))
+
+    # -- finish -----------------------------------------------------------
+
+    @property
+    def program(self) -> Program:
+        return self._program
+
+    def finish(self, validate: bool = True) -> Program:
+        """Finalize and (optionally) validate the built program."""
+        self._finished = True
+        if validate:
+            self._program.validate()
+        return self._program

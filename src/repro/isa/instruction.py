@@ -1,0 +1,144 @@
+"""The :class:`Instruction` record.
+
+An instruction is a single SASS-like operation.  Instructions are mutable
+(the compiler rewrites operands during extraction and register
+re-allocation) but carry a stable ``uid`` so dependence graphs built over
+one program revision remain meaningful while it is being transformed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import IsaError
+from repro.isa.opcodes import InstrCategory, Opcode, opcode_info
+from repro.isa.operands import (
+    Operand,
+    Predicate,
+    QueueRef,
+    Register,
+)
+
+_uid_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class Instruction:
+    """A single instruction.
+
+    Attributes:
+        opcode: The operation.
+        dst: Destination operand (``Register``, ``Predicate``, ``QueueRef``
+            or ``None`` for stores, branches and barriers).
+        srcs: Source operands, in operand order.
+        guard: Optional guard predicate; the instruction executes only in
+            lanes where the predicate holds (branches require a uniform
+            predicate).
+        guard_negated: If true the guard sense is inverted (``@!P0``).
+        target: Branch target label for ``BRA``.
+        barrier_id: Barrier name for ``BAR.*`` instructions.
+        attrs: Free-form attributes (TMA configuration, compiler notes).
+        category: Dynamic-instruction category; defaults to the opcode's
+            static category and is refined by the compiler's PDG analysis
+            (address generation vs. compute) for the Figure 19 breakdown.
+    """
+
+    opcode: Opcode
+    dst: Operand | None = None
+    srcs: list[Operand] = field(default_factory=list)
+    guard: Predicate | None = None
+    guard_negated: bool = False
+    target: str | None = None
+    barrier_id: str | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+    category: InstrCategory | None = None
+    uid: int = field(default_factory=lambda: next(_uid_counter))
+
+    def __post_init__(self) -> None:
+        info = opcode_info(self.opcode)
+        if info.is_branch and self.opcode is Opcode.BRA and not self.target:
+            raise IsaError("BRA requires a target label")
+        if info.is_barrier and not self.barrier_id:
+            raise IsaError(f"{self.opcode.value} requires a barrier_id")
+        if self.category is None:
+            self.category = info.category
+
+    # -- structural queries -------------------------------------------------
+
+    @property
+    def info(self):
+        """Static :class:`~repro.isa.opcodes.OpcodeInfo` for this opcode."""
+        return opcode_info(self.opcode)
+
+    def defined_registers(self) -> list[Register]:
+        """Registers written by this instruction."""
+        if isinstance(self.dst, Register):
+            return [self.dst]
+        return []
+
+    def defined_predicates(self) -> list[Predicate]:
+        """Predicates written by this instruction."""
+        if isinstance(self.dst, Predicate):
+            return [self.dst]
+        return []
+
+    def used_registers(self) -> list[Register]:
+        """Registers read by this instruction (sources only)."""
+        return [op for op in self.srcs if isinstance(op, Register)]
+
+    def used_predicates(self) -> list[Predicate]:
+        """Predicates read (guard plus any predicate sources)."""
+        preds = [op for op in self.srcs if isinstance(op, Predicate)]
+        if self.guard is not None:
+            preds.append(self.guard)
+        return preds
+
+    def queue_pushes(self) -> list[QueueRef]:
+        """Queues this instruction pushes into (queue destinations)."""
+        if isinstance(self.dst, QueueRef):
+            return [self.dst]
+        return []
+
+    def queue_pops(self) -> list[QueueRef]:
+        """Queues this instruction pops from (queue sources)."""
+        return [op for op in self.srcs if isinstance(op, QueueRef)]
+
+    def replace_src(self, old: Operand, new: Operand) -> None:
+        """Replace every occurrence of ``old`` in the source list."""
+        self.srcs = [new if op == old else op for op in self.srcs]
+
+    def clone(self) -> "Instruction":
+        """Deep-enough copy with a fresh uid (operands are immutable)."""
+        return Instruction(
+            opcode=self.opcode,
+            dst=self.dst,
+            srcs=list(self.srcs),
+            guard=self.guard,
+            guard_negated=self.guard_negated,
+            target=self.target,
+            barrier_id=self.barrier_id,
+            attrs=dict(self.attrs),
+            category=self.category,
+        )
+
+    # -- rendering ----------------------------------------------------------
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.guard is not None:
+            sense = "!" if self.guard_negated else ""
+            parts.append(f"@{sense}{self.guard}")
+        parts.append(self.opcode.value)
+        operands = []
+        if self.dst is not None:
+            operands.append(repr(self.dst))
+        operands.extend(repr(s) for s in self.srcs)
+        if self.target:
+            operands.append(self.target)
+        if self.barrier_id:
+            operands.append(f"bar[{self.barrier_id}]")
+        if operands:
+            parts.append(", ".join(operands))
+        return " ".join(parts)

@@ -1,0 +1,204 @@
+"""Opcode definitions and static metadata.
+
+Each opcode carries the metadata the rest of the system needs:
+
+* which functional unit executes it (for issue modelling),
+* its default dynamic-instruction category (for the Figure 19 breakdown),
+* whether it reads or writes memory, and at which level,
+* whether it is a control-flow or synchronization instruction.
+
+Latency and throughput numbers live in :mod:`repro.sim.config` because
+they are properties of a GPU configuration, not of the ISA.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class FuncUnit(enum.Enum):
+    """Functional unit class an instruction issues to."""
+
+    INT = "int"          # integer ALU / address arithmetic
+    FP = "fp"            # FP32 pipeline
+    TENSOR = "tensor"    # TensorCore (HMMA)
+    LSU_GLOBAL = "lsu_global"  # global memory load/store
+    LSU_SHARED = "lsu_shared"  # shared memory load/store
+    SYNC = "sync"        # barriers
+    BRANCH = "branch"    # control flow
+    TMA = "tma"          # offload engine configuration
+    NOP = "nop"
+
+
+class InstrCategory(enum.Enum):
+    """Dynamic-instruction categories used by the Figure 19 breakdown."""
+
+    MEMORY = "memory"
+    ADDRGEN = "addrgen"
+    CONTROL = "control"
+    COMPUTE = "compute"
+    SYNC = "sync"
+    TMA = "tma"
+    QUEUE = "queue"
+
+
+class Opcode(enum.Enum):
+    """SASS-flavoured opcodes supported by the reproduction."""
+
+    # Integer / address arithmetic
+    IADD = "IADD"
+    IMUL = "IMUL"
+    IDIV = "IDIV"      # integer (floor) division
+    IMAD = "IMAD"      # d = a * b + c
+    SHL = "SHL"
+    SHR = "SHR"
+    AND = "AND"
+    OR = "OR"
+    MIN = "MIN"
+    MAX = "MAX"
+    MOV = "MOV"
+    ISETP = "ISETP"    # predicate set from integer compare
+    SEL = "SEL"        # d = p ? a : b
+
+    # Floating point
+    FADD = "FADD"
+    FMUL = "FMUL"
+    FFMA = "FFMA"      # d = a * b + c
+    FRCP = "FRCP"      # reciprocal (models special-function unit work)
+
+    # TensorCore: warp-collective matrix multiply-accumulate
+    HMMA = "HMMA"
+    # Warp-collective reduction (butterfly shuffle sum broadcast)
+    REDUX = "REDUX"
+
+    # Memory
+    LDG = "LDG"        # load global
+    STG = "STG"        # store global
+    LDS = "LDS"        # load shared
+    STS = "STS"        # store shared
+    LDGSTS = "LDGSTS"  # fused global->shared copy (Ampere cp.async)
+
+    # Control flow
+    BRA = "BRA"        # (predicated) branch to label
+    EXIT = "EXIT"
+    NOP = "NOP"
+
+    # Synchronization
+    BAR_SYNC = "BAR.SYNC"      # thread-block barrier
+    BAR_ARRIVE = "BAR.ARRIVE"  # split arrive/wait barrier: arrive side
+    BAR_WAIT = "BAR.WAIT"      # split arrive/wait barrier: wait side
+
+    # TMA / WASP-TMA offload configuration (Section III-E)
+    TMA_TILE = "TMA.TILE"        # coarse global->SMEM tile transfer
+    TMA_STREAM = "TMA.STREAM"    # fine-grained global->RFQ stream
+    TMA_GATHER = "TMA.GATHER"    # two-phase gather -> SMEM or RFQ
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of an opcode."""
+
+    opcode: Opcode
+    unit: FuncUnit
+    category: InstrCategory
+    reads_global: bool = False
+    writes_global: bool = False
+    reads_shared: bool = False
+    writes_shared: bool = False
+    is_branch: bool = False
+    is_barrier: bool = False
+    num_srcs: int | None = None  # None means variable
+
+
+_INT = FuncUnit.INT
+_FP = FuncUnit.FP
+
+_OPCODE_TABLE: dict[Opcode, OpcodeInfo] = {
+    Opcode.IADD: OpcodeInfo(Opcode.IADD, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.IMUL: OpcodeInfo(Opcode.IMUL, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.IDIV: OpcodeInfo(Opcode.IDIV, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.IMAD: OpcodeInfo(Opcode.IMAD, _INT, InstrCategory.COMPUTE, num_srcs=3),
+    Opcode.SHL: OpcodeInfo(Opcode.SHL, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.SHR: OpcodeInfo(Opcode.SHR, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.AND: OpcodeInfo(Opcode.AND, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.OR: OpcodeInfo(Opcode.OR, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.MIN: OpcodeInfo(Opcode.MIN, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.MAX: OpcodeInfo(Opcode.MAX, _INT, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.MOV: OpcodeInfo(Opcode.MOV, _INT, InstrCategory.COMPUTE, num_srcs=1),
+    Opcode.ISETP: OpcodeInfo(Opcode.ISETP, _INT, InstrCategory.CONTROL, num_srcs=2),
+    Opcode.SEL: OpcodeInfo(Opcode.SEL, _INT, InstrCategory.COMPUTE, num_srcs=3),
+    Opcode.FADD: OpcodeInfo(Opcode.FADD, _FP, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.FMUL: OpcodeInfo(Opcode.FMUL, _FP, InstrCategory.COMPUTE, num_srcs=2),
+    Opcode.FFMA: OpcodeInfo(Opcode.FFMA, _FP, InstrCategory.COMPUTE, num_srcs=3),
+    Opcode.FRCP: OpcodeInfo(Opcode.FRCP, _FP, InstrCategory.COMPUTE, num_srcs=1),
+    Opcode.HMMA: OpcodeInfo(
+        Opcode.HMMA, FuncUnit.TENSOR, InstrCategory.COMPUTE, num_srcs=3
+    ),
+    Opcode.REDUX: OpcodeInfo(
+        Opcode.REDUX, _FP, InstrCategory.COMPUTE, num_srcs=1
+    ),
+    Opcode.LDG: OpcodeInfo(
+        Opcode.LDG, FuncUnit.LSU_GLOBAL, InstrCategory.MEMORY,
+        reads_global=True, num_srcs=1,
+    ),
+    Opcode.STG: OpcodeInfo(
+        Opcode.STG, FuncUnit.LSU_GLOBAL, InstrCategory.MEMORY,
+        writes_global=True, num_srcs=2,
+    ),
+    Opcode.LDS: OpcodeInfo(
+        Opcode.LDS, FuncUnit.LSU_SHARED, InstrCategory.MEMORY,
+        reads_shared=True, num_srcs=1,
+    ),
+    Opcode.STS: OpcodeInfo(
+        Opcode.STS, FuncUnit.LSU_SHARED, InstrCategory.MEMORY,
+        writes_shared=True, num_srcs=2,
+    ),
+    Opcode.LDGSTS: OpcodeInfo(
+        Opcode.LDGSTS, FuncUnit.LSU_GLOBAL, InstrCategory.MEMORY,
+        reads_global=True, writes_shared=True, num_srcs=2,
+    ),
+    Opcode.BRA: OpcodeInfo(
+        Opcode.BRA, FuncUnit.BRANCH, InstrCategory.CONTROL, is_branch=True,
+        num_srcs=0,
+    ),
+    Opcode.EXIT: OpcodeInfo(
+        Opcode.EXIT, FuncUnit.BRANCH, InstrCategory.CONTROL, is_branch=True,
+        num_srcs=0,
+    ),
+    Opcode.NOP: OpcodeInfo(Opcode.NOP, FuncUnit.NOP, InstrCategory.COMPUTE, num_srcs=0),
+    Opcode.BAR_SYNC: OpcodeInfo(
+        Opcode.BAR_SYNC, FuncUnit.SYNC, InstrCategory.SYNC, is_barrier=True,
+        num_srcs=0,
+    ),
+    Opcode.BAR_ARRIVE: OpcodeInfo(
+        Opcode.BAR_ARRIVE, FuncUnit.SYNC, InstrCategory.SYNC, is_barrier=True,
+        num_srcs=0,
+    ),
+    Opcode.BAR_WAIT: OpcodeInfo(
+        Opcode.BAR_WAIT, FuncUnit.SYNC, InstrCategory.SYNC, is_barrier=True,
+        num_srcs=0,
+    ),
+    Opcode.TMA_TILE: OpcodeInfo(
+        Opcode.TMA_TILE, FuncUnit.TMA, InstrCategory.TMA,
+        reads_global=True, writes_shared=True,
+    ),
+    Opcode.TMA_STREAM: OpcodeInfo(
+        Opcode.TMA_STREAM, FuncUnit.TMA, InstrCategory.TMA, reads_global=True,
+    ),
+    Opcode.TMA_GATHER: OpcodeInfo(
+        Opcode.TMA_GATHER, FuncUnit.TMA, InstrCategory.TMA, reads_global=True,
+    ),
+}
+
+_GLOBAL_LOADS = frozenset({Opcode.LDG, Opcode.LDGSTS})
+
+
+def opcode_info(opcode: Opcode) -> OpcodeInfo:
+    """Return the static :class:`OpcodeInfo` for ``opcode``."""
+    return _OPCODE_TABLE[opcode]
+
+
+def is_global_load(opcode: Opcode) -> bool:
+    """True for instructions that read global memory via the LSU."""
+    return opcode in _GLOBAL_LOADS

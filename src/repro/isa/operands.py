@@ -1,0 +1,87 @@
+"""Instruction operands: registers, immediates, queues, special registers.
+
+Operands are small frozen dataclasses so they can be used as dictionary
+keys (e.g., in the compiler's def-use maps) and compared structurally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Operand:
+    """Marker base class for all operand kinds."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Register(Operand):
+    """A virtual (pre-allocation) or physical (post-allocation) register.
+
+    Register indices are per-thread, as in SASS: ``R0``, ``R1``, ...
+    """
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"R{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Predicate(Operand):
+    """A predicate register (``P0``, ``P1``, ...)."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"P{self.index}"
+
+
+@dataclass(frozen=True, slots=True)
+class Immediate(Operand):
+    """A literal integer or float operand."""
+
+    value: int | float
+
+    def __repr__(self) -> str:
+        return f"#{self.value}"
+
+
+@dataclass(frozen=True, slots=True)
+class QueueRef(Operand):
+    """A named register-file queue operand (Section III-C).
+
+    ``queue_id`` names the queue within the thread block (queues connect a
+    source stage to a destination stage and are declared in the thread
+    block specification).  A queue used as a destination operand pushes
+    one warp-wide entry; used as a source operand it pops one entry.
+    """
+
+    queue_id: int
+
+    def __repr__(self) -> str:
+        return f"Q{self.queue_id}"
+
+
+class SpecialReg(enum.Enum):
+    """Architectural special registers readable by any thread."""
+
+    LANE_ID = "SR_LANEID"            # thread index within the warp
+    WARP_ID = "SR_WARPID"            # warp index within the thread block
+    TB_ID = "SR_CTAID"               # thread block index within the grid
+    NUM_WARPS = "SR_NWARPS"          # warps per thread block
+    PIPE_STAGE_ID = "SR_PIPESTAGE"   # WASP explicit stage naming (III-A)
+    STAGE_WARP_ID = "SR_STAGEWARP"   # warp index within its pipeline stage
+    NUM_STAGE_WARPS = "SR_NSTAGEWARPS"  # warps per pipeline stage
+
+
+@dataclass(frozen=True, slots=True)
+class SpecialRegister(Operand):
+    """An operand reading one of the :class:`SpecialReg` values."""
+
+    which: SpecialReg
+
+    def __repr__(self) -> str:
+        return self.which.value

@@ -1,0 +1,26 @@
+"""Cycle-level GPU timing simulator.
+
+Models one streaming multiprocessor (SM) of an A100-class GPU with four
+processing blocks, greedy-then-oldest warp scheduling, register
+scoreboards, shared memory, an L1 sector cache, and per-SM shares of L2
+and DRAM bandwidth (paper Table III).  WASP hardware — register-file
+queues, pipeline-aware mapping/scheduling, per-stage register
+allocation, and the WASP-TMA offload engine — is enabled through
+:class:`~repro.sim.config.WaspFeatures`.
+
+The simulator replays dynamic traces produced by :mod:`repro.fexec`,
+re-enforcing register, queue and barrier dependences at cycle
+granularity with event skipping for speed.
+"""
+
+from repro.sim.config import GPUConfig, SchedulingPolicy, WaspFeatures
+from repro.sim.gpu import SimResult, simulate_kernel, simulate_program
+
+__all__ = [
+    "GPUConfig",
+    "SchedulingPolicy",
+    "SimResult",
+    "WaspFeatures",
+    "simulate_kernel",
+    "simulate_program",
+]

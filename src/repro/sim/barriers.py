@@ -1,0 +1,104 @@
+"""Timing barriers: arrive/wait with time-stamped arrivals, plus BAR.SYNC.
+
+Arrivals can be scheduled in the future (a TMA tile transfer arrives at
+its completion time), so each barrier keeps a sorted list of arrival
+times; the *n*-th wait by a warp passes at the time threshold ``n *
+expected - initial_credit`` arrivals have landed.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+INFINITY = float("inf")
+
+
+@dataclass
+class TimedArriveWait:
+    """One named arrive/wait barrier with timed generation counting."""
+
+    barrier_id: str
+    expected: int = 1
+    initial_credit: int = 0
+    arrival_times: list[float] = field(default_factory=list)
+    wait_counts: dict[int, int] = field(default_factory=dict)
+
+    def arrive(self, time: float) -> None:
+        bisect.insort(self.arrival_times, time)
+
+    def wait_pass_time(self, warp_key: int) -> float:
+        """When the next wait by ``warp_key`` passes (may be inf)."""
+        n = self.wait_counts.get(warp_key, 0) + 1
+        needed = n * self.expected - self.initial_credit
+        if needed <= 0:
+            return 0.0
+        if needed > len(self.arrival_times):
+            return INFINITY
+        return self.arrival_times[needed - 1]
+
+    def record_wait(self, warp_key: int) -> None:
+        self.wait_counts[warp_key] = self.wait_counts.get(warp_key, 0) + 1
+
+
+@dataclass
+class TimedSyncBarrier:
+    """All-warps thread-block barrier with timed phases."""
+
+    barrier_id: str
+    num_warps: int
+    phase_arrivals: dict[int, list[float]] = field(default_factory=dict)
+    warp_phase: dict[int, int] = field(default_factory=dict)
+    arrived: set = field(default_factory=set)
+
+    def arrive(self, warp_key: int, time: float) -> None:
+        phase = self.warp_phase.get(warp_key, 0)
+        if (warp_key, phase) in self.arrived:
+            return
+        self.arrived.add((warp_key, phase))
+        self.phase_arrivals.setdefault(phase, []).append(time)
+
+    def pass_time(self, warp_key: int) -> float:
+        """When this warp's current sync releases (inf if not yet)."""
+        phase = self.warp_phase.get(warp_key, 0)
+        times = self.phase_arrivals.get(phase, ())
+        if len(times) < self.num_warps:
+            return INFINITY
+        return max(times)
+
+    def record_pass(self, warp_key: int) -> None:
+        self.warp_phase[warp_key] = self.warp_phase.get(warp_key, 0) + 1
+
+
+class BarrierFile:
+    """All barriers of one resident thread block."""
+
+    def __init__(
+        self,
+        num_warps: int,
+        expected: dict[str, int],
+        initial: dict[str, int],
+    ) -> None:
+        self._num_warps = num_warps
+        self._expected = expected
+        self._initial = initial
+        self._aw: dict[str, TimedArriveWait] = {}
+        self._sync: dict[str, TimedSyncBarrier] = {}
+
+    def arrive_wait(self, barrier_id: str) -> TimedArriveWait:
+        barrier = self._aw.get(barrier_id)
+        if barrier is None:
+            barrier = TimedArriveWait(
+                barrier_id,
+                expected=self._expected.get(barrier_id, 1),
+                initial_credit=self._initial.get(barrier_id, 0),
+            )
+            self._aw[barrier_id] = barrier
+        return barrier
+
+    def sync(self, barrier_id: str) -> TimedSyncBarrier:
+        barrier = self._sync.get(barrier_id)
+        if barrier is None:
+            barrier = TimedSyncBarrier(barrier_id, num_warps=self._num_warps)
+            self._sync[barrier_id] = barrier
+        return barrier

@@ -1,0 +1,111 @@
+"""Sector caches and bandwidth servers.
+
+Two building blocks for the memory system:
+
+* :class:`SectorCache` — a set-associative cache of 32-byte sectors with
+  LRU replacement, used for L1 and the per-SM L2 slice.
+* :class:`BandwidthServer` — a deterministic single-server queue: each
+  unit of work occupies the server for ``1 / rate`` cycles, so queueing
+  delay emerges naturally under load and utilization is work divided by
+  elapsed busy window.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class SectorCache:
+    """Set-associative LRU sector cache.
+
+    Sectors are integer ids (word address // 8).  ``access`` returns
+    True on hit and fills on miss.
+    """
+
+    def __init__(self, num_sectors: int, assoc: int) -> None:
+        if num_sectors <= 0 or assoc <= 0:
+            raise SimulationError("cache must have positive size and assoc")
+        self.assoc = assoc
+        self.num_sets = max(1, num_sectors // assoc)
+        # Per-set dict: sector -> last-use stamp (dicts preserve order,
+        # but an explicit stamp keeps LRU exact under re-touch).
+        self._sets: dict[int, dict[int, int]] = {}
+        self._stamp = 0
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, sector: int) -> bool:
+        """Touch ``sector``; returns hit/miss and fills on miss."""
+        self._stamp += 1
+        index = sector % self.num_sets
+        entries = self._sets.get(index)
+        if entries is None:
+            entries = {}
+            self._sets[index] = entries
+        if sector in entries:
+            entries[sector] = self._stamp
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(entries) >= self.assoc:
+            victim = min(entries, key=entries.get)
+            del entries[victim]
+        entries[sector] = self._stamp
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class BandwidthServer:
+    """Deterministic queue with a fixed service rate.
+
+    ``submit(now, work)`` returns the time service *completes* (without
+    the downstream latency, which the caller adds).  The server never
+    reorders: requests occupy it in arrival order.
+    """
+
+    def __init__(self, rate_per_cycle: float, name: str = "") -> None:
+        if rate_per_cycle <= 0:
+            raise SimulationError(f"bandwidth server {name!r} needs rate > 0")
+        self.rate = rate_per_cycle
+        self.name = name
+        self._free_at = 0.0
+        self.total_work = 0.0
+        self.first_use: float | None = None
+        self.last_use = 0.0
+
+    def submit(self, now: float, work: float = 1.0) -> float:
+        """Occupy the server for ``work / rate`` cycles starting at now."""
+        start = max(now, self._free_at)
+        finish = start + work / self.rate
+        self._free_at = finish
+        self.total_work += work
+        if self.first_use is None:
+            self.first_use = now
+        self.last_use = finish
+        return finish
+
+    @property
+    def free_at(self) -> float:
+        """Time the server finishes all currently queued work."""
+        return self._free_at
+
+    def queue_delay(self, now: float) -> float:
+        """How long a request arriving now would wait before service."""
+        return max(0.0, self._free_at - now)
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of peak bandwidth used over ``elapsed`` cycles."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self.total_work / (self.rate * elapsed))

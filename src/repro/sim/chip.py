@@ -1,0 +1,75 @@
+"""Chip-level execution model: many SMs sharing L2/DRAM bandwidth.
+
+The detailed model simulates one SM with per-SM shares of chip
+bandwidth (Table III's modelling choice).  This wrapper scales that to a
+full chip launch: a grid of thread blocks is distributed round-robin
+over ``num_sms`` identical SMs; because the detailed model already
+charges each SM its bandwidth share, chip time is the slowest SM's time
+(plus a tail when the grid does not divide evenly).
+
+For homogeneous grids (every thread block runs the same trace shape),
+``estimate_chip_time`` avoids simulating every SM by timing one
+representative SM with the largest per-SM block count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.fexec.trace import KernelTrace
+from repro.sim.config import GPUConfig
+from repro.sim.gpu import SimResult, simulate_kernel
+
+
+@dataclass
+class ChipResult:
+    """Chip-level launch estimate."""
+
+    num_sms_used: int
+    blocks_per_sm: int
+    sm_result: SimResult
+
+    @property
+    def cycles(self) -> float:
+        return self.sm_result.cycles
+
+
+def partition_blocks(
+    num_blocks: int, num_sms: int
+) -> list[list[int]]:
+    """Round-robin block indices over SMs (the GPU work distributor)."""
+    if num_blocks <= 0 or num_sms <= 0:
+        raise SimulationError("need positive blocks and SMs")
+    assignment: list[list[int]] = [[] for _ in range(min(num_sms,
+                                                         num_blocks))]
+    for block in range(num_blocks):
+        assignment[block % len(assignment)].append(block)
+    return assignment
+
+
+def estimate_chip_time(
+    traces: list[KernelTrace],
+    config: GPUConfig,
+    num_sms: int = 108,
+    grid_blocks: int | None = None,
+) -> ChipResult:
+    """Estimate a full-chip launch from per-block traces.
+
+    ``grid_blocks`` (default: ``len(traces)``) is the total grid size;
+    when it exceeds the trace count the trace list is treated as a
+    representative sample and tiled.  The representative SM runs
+    ``ceil(grid / num_sms)`` blocks.
+    """
+    if not traces:
+        raise SimulationError("no traces")
+    grid = grid_blocks if grid_blocks is not None else len(traces)
+    per_sm = max(1, math.ceil(grid / num_sms))
+    sm_traces = [traces[i % len(traces)] for i in range(per_sm)]
+    result = simulate_kernel(sm_traces, config)
+    return ChipResult(
+        num_sms_used=min(num_sms, grid),
+        blocks_per_sm=per_sm,
+        sm_result=result,
+    )

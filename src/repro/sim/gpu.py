@@ -1,0 +1,102 @@
+"""High-level simulation API.
+
+``simulate_program`` runs a kernel functionally (producing traces and
+memory side effects) and then replays the traces on the timing model;
+``simulate_kernel`` skips the functional step when traces already exist
+(e.g. to time the same trace under several GPU configurations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fexec.launch import LaunchConfig
+from repro.fexec.machine import run_kernel
+from repro.fexec.memory_image import MemoryImage
+from repro.fexec.trace import KernelTrace
+from repro.isa.opcodes import InstrCategory
+from repro.isa.program import Program
+from repro.sim.config import GPUConfig
+from repro.sim.occupancy import Occupancy
+from repro.sim.results import TIMELINE_BUCKET, SMStats
+from repro.sim.sm import SMSimulator
+
+
+@dataclass
+class SimResult:
+    """Outcome of timing one kernel on one GPU configuration."""
+
+    kernel_name: str
+    cycles: float
+    issued_total: int
+    issued_by_category: dict[InstrCategory, int]
+    issued_by_stage: dict[int, int]
+    queue_overhead_instrs: int
+    l2_utilization: float
+    dram_utilization: float
+    smem_utilization: float
+    l1_hit_rate: float
+    occupancy: Occupancy
+    timeline: list[tuple[float, float, float]] = field(default_factory=list)
+    tbs_completed: int = 0
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return self.issued_total
+
+    def category_fraction(self, category: InstrCategory) -> float:
+        if not self.issued_total:
+            return 0.0
+        return self.issued_by_category.get(category, 0) / self.issued_total
+
+
+def simulate_kernel(
+    traces: list[KernelTrace],
+    config: GPUConfig,
+    occupancy: Occupancy | None = None,
+) -> SimResult:
+    """Replay traces on the timing model and summarize."""
+    sim = SMSimulator(config, traces, occupancy=occupancy)
+    stats = sim.run()
+    return _summarize(sim, stats)
+
+
+def simulate_program(
+    program: Program,
+    memory: MemoryImage,
+    launch: LaunchConfig,
+    config: GPUConfig,
+) -> SimResult:
+    """Functionally execute then time ``program``."""
+    result = run_kernel(program, memory, launch)
+    return simulate_kernel(result.traces, config)
+
+
+def _summarize(sim: SMSimulator, stats: SMStats) -> SimResult:
+    elapsed = max(1.0, stats.cycles)
+    timeline = []
+    for bucket_index in sorted(stats.timeline):
+        bucket = stats.timeline[bucket_index]
+        time = bucket_index * TIMELINE_BUCKET
+        compute_util = bucket.tensor_fp_issued / TIMELINE_BUCKET
+        mem_util = min(
+            1.0,
+            bucket.sectors
+            / (sim.config.l2_sectors_per_cycle * TIMELINE_BUCKET),
+        )
+        timeline.append((time, compute_util, mem_util))
+    return SimResult(
+        kernel_name=sim.traces[0].kernel_name,
+        cycles=stats.cycles,
+        issued_total=stats.issued_total,
+        issued_by_category=dict(stats.issued_by_category),
+        issued_by_stage=dict(stats.issued_by_stage),
+        queue_overhead_instrs=stats.queue_overhead_instrs,
+        l2_utilization=sim.memory.l2_utilization(elapsed),
+        dram_utilization=sim.memory.dram_utilization(elapsed),
+        smem_utilization=sim.memory.smem_utilization(elapsed),
+        l1_hit_rate=sim.memory.l1.hit_rate(),
+        occupancy=sim.occupancy,
+        timeline=timeline,
+        tbs_completed=stats.tbs_completed,
+    )

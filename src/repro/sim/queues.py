@@ -1,0 +1,124 @@
+"""Timing model of inter-stage queues (RFQ and SMEM implementations).
+
+A queue channel connects one producer warp to one consumer warp
+(per pipeline slice).  Entries are *allocated at push issue* and become
+*ready* when the producing load's data returns; pops consume entries in
+FIFO order and must wait for the head entry's data.
+
+The RFQ implementation (Section III-C) is free beyond the register
+storage.  The SMEM implementation — what a software-only compiler must
+use on baseline hardware — charges the overheads the paper describes:
+extra instructions and SMEM bandwidth on both sides.  Those costs are
+applied by the SM core, which consults :attr:`QueueChannel.impl`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.sim.config import QueueImpl
+
+
+@dataclass
+class QueueChannel:
+    """One producer->consumer FIFO channel with timed entries."""
+
+    queue_id: int
+    slice_id: int
+    capacity: int
+    impl: QueueImpl = QueueImpl.RFQ
+    _entries: deque = field(default_factory=deque)  # data-ready times
+    reserved: int = 0  # entries acquired by in-flight TMA phase-1 vectors
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise SimulationError("queue capacity must be positive")
+
+    # -- producer side --------------------------------------------------
+
+    def can_push(self) -> bool:
+        return len(self._entries) + self.reserved < self.capacity
+
+    def reserve(self) -> None:
+        """Acquire an entry ahead of its data (WASP-TMA phase 1)."""
+        if not self.can_push():
+            raise SimulationError(
+                f"reserve on full queue {self.queue_id}/{self.slice_id}"
+            )
+        self.reserved += 1
+
+    def push_reserved(self, ready_time: float) -> None:
+        """Fill a previously reserved entry (WASP-TMA phase 2)."""
+        if self.reserved <= 0:
+            raise SimulationError(
+                f"unmatched reserved push on {self.queue_id}/{self.slice_id}"
+            )
+        self.reserved -= 1
+        self._entries.append(ready_time)
+
+    def push(self, ready_time: float) -> None:
+        if not self.can_push():
+            raise SimulationError(
+                f"push into full queue {self.queue_id}/{self.slice_id}"
+            )
+        self._entries.append(ready_time)
+
+    # -- consumer side --------------------------------------------------
+
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def head_ready_time(self) -> float | None:
+        """Data-ready time of the head entry, or None when empty."""
+        if not self._entries:
+            return None
+        return self._entries[0]
+
+    def pop(self) -> float:
+        if not self._entries:
+            raise SimulationError(
+                f"pop from empty queue {self.queue_id}/{self.slice_id}"
+            )
+        return self._entries.popleft()
+
+    # -- scheduler scoreboard bits (III-C / III-D) -----------------------
+
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def is_full(self) -> bool:
+        return len(self._entries) + self.reserved >= self.capacity
+
+    def has_ready_data(self, now: float) -> bool:
+        head = self.head_ready_time()
+        return head is not None and head <= now
+
+
+class QueueFile:
+    """All queue channels of one resident thread block."""
+
+    def __init__(
+        self, capacity_by_queue: dict[int, int], impl: QueueImpl
+    ) -> None:
+        self._capacity = capacity_by_queue
+        self._impl = impl
+        self._channels: dict[tuple[int, int], QueueChannel] = {}
+
+    def channel(self, queue_id: int, slice_id: int) -> QueueChannel:
+        key = (queue_id, slice_id)
+        chan = self._channels.get(key)
+        if chan is None:
+            capacity = self._capacity.get(queue_id, 32)
+            chan = QueueChannel(
+                queue_id=queue_id,
+                slice_id=slice_id,
+                capacity=capacity,
+                impl=self._impl,
+            )
+            self._channels[key] = chan
+        return chan
+
+    def channels(self) -> list[QueueChannel]:
+        return list(self._channels.values())

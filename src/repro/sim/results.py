@@ -1,0 +1,52 @@
+"""Simulation result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import InstrCategory
+
+TIMELINE_BUCKET = 256  # cycles per utilization-timeline bucket (Figure 3)
+
+
+@dataclass
+class TimelineBucket:
+    """Activity within one timeline bucket."""
+
+    issued: int = 0
+    tensor_fp_issued: int = 0
+    sectors: int = 0
+
+
+@dataclass
+class SMStats:
+    """Counters accumulated by the SM core loop."""
+
+    cycles: float = 0.0
+    issued_total: int = 0
+    issued_by_category: dict[InstrCategory, int] = field(default_factory=dict)
+    issued_by_stage: dict[int, int] = field(default_factory=dict)
+    queue_overhead_instrs: int = 0
+    timeline: dict[int, TimelineBucket] = field(default_factory=dict)
+    tbs_completed: int = 0
+
+    def count_issue(
+        self, time: float, category: InstrCategory, stage: int, tensor_fp: bool
+    ) -> None:
+        self.issued_total += 1
+        self.issued_by_category[category] = (
+            self.issued_by_category.get(category, 0) + 1
+        )
+        self.issued_by_stage[stage] = self.issued_by_stage.get(stage, 0) + 1
+        bucket = self.timeline.setdefault(
+            int(time) // TIMELINE_BUCKET, TimelineBucket()
+        )
+        bucket.issued += 1
+        if tensor_fp:
+            bucket.tensor_fp_issued += 1
+
+    def count_sectors(self, time: float, count: int) -> None:
+        bucket = self.timeline.setdefault(
+            int(time) // TIMELINE_BUCKET, TimelineBucket()
+        )
+        bucket.sectors += count

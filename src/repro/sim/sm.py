@@ -1,0 +1,474 @@
+"""The SM core loop: cycle-stepped issue with event skipping.
+
+Each processing block issues at most one instruction per cycle from a
+ready warp chosen by the active scheduling policy.  Warps block on
+register scoreboards, queue occupancy, barriers, and the per-warp
+outstanding-load limit; every blocking condition resolves either to a
+known future wake time (memory completions are computed eagerly) or to
+"another warp must act", in which case the blocked warp registers itself
+on the queue/barrier and is woken by the unblocking event.  When no warp
+can issue, time skips to the earliest known wake.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.mapping import map_warps
+from repro.core.scheduling import WarpSchedState, priority_key
+from repro.core.specs import ThreadBlockSpec
+from repro.errors import DeadlockError, SimulationError
+from repro.fexec.trace import DynamicInstr, KernelTrace
+from repro.isa.opcodes import FuncUnit, InstrCategory, Opcode
+from repro.sim.barriers import INFINITY, BarrierFile
+from repro.sim.config import GPUConfig, QueueImpl
+from repro.sim.memory import MemorySystem
+from repro.sim.occupancy import Occupancy, compute_occupancy
+from repro.sim.queues import QueueFile
+from repro.sim.results import SMStats
+from repro.sim.tma import TmaEngine
+
+_TENSOR_FP_UNITS = (FuncUnit.TENSOR, FuncUnit.FP)
+_SMEM_POP_EXTRA = 1   # LDS + address handled as one synthetic slot + LDS cost
+_SMEM_PUSH_EXTRA = 2  # STS + buffer bookkeeping
+
+
+@dataclass
+class _ResidentTB:
+    """One thread block currently executing on the SM."""
+
+    tb_index: int
+    trace: KernelTrace
+    barriers: BarrierFile
+    queues: QueueFile
+    warps: list["_WarpRun"] = field(default_factory=list)
+
+    def done(self) -> bool:
+        return all(w.done for w in self.warps)
+
+
+@dataclass
+class _WarpRun:
+    """Timing state of one warp."""
+
+    key: int
+    tb: _ResidentTB
+    instrs: list[DynamicInstr]
+    pipe_stage_id: int
+    slice_id: int
+    pb: int
+    age: int
+    pc: int = 0
+    done: bool = False
+    scoreboard: dict[int, float] = field(default_factory=dict)
+    outstanding: list[float] = field(default_factory=list)
+    last_issued: float = -1.0
+    wake_at: float = 0.0
+    pending_extra: int = 0
+    sync_marked: bool = False
+    async_copy_done: float = 0.0  # LDGSTS data-landing fence for arrives
+
+    def current(self) -> DynamicInstr | None:
+        if self.pc < len(self.instrs):
+            return self.instrs[self.pc]
+        return None
+
+
+class SMSimulator:
+    """Simulates one SM executing the thread blocks of one kernel."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        traces: list[KernelTrace],
+        occupancy: Occupancy | None = None,
+    ) -> None:
+        if not traces:
+            raise SimulationError("no thread blocks to simulate")
+        self.config = config
+        self.traces = traces
+        self.memory = MemorySystem(config)
+        self.tma = TmaEngine(config, self.memory)
+        self.stats = SMStats()
+        first = traces[0]
+        spec = first.tb_spec
+        self.spec: ThreadBlockSpec | None = spec
+        self.occupancy = occupancy or compute_occupancy(
+            config,
+            spec,
+            num_warps=first.num_warps,
+            program_registers=first.program_registers,
+            smem_words=first.smem_words,
+            warp_width=first.warp_width,
+        )
+        self._pending = list(traces)
+        self._resident: list[_ResidentTB] = []
+        self._pbs: list[list[_WarpRun]] = [
+            [] for _ in range(config.processing_blocks)
+        ]
+        self._greedy: list[int | None] = [None] * config.processing_blocks
+        self._next_key = 0
+        self._next_tb = 0
+        self._age = 0
+        # Warps blocked on conditions another agent must clear.
+        self._queue_block: dict[tuple[int, int, int, str], list[_WarpRun]] = {}
+
+    # -- residency ----------------------------------------------------------
+
+    def _admit(self, now: float) -> None:
+        while self._pending and (
+            len(self._resident) < self.occupancy.max_resident_tbs
+        ):
+            trace = self._pending[0]
+            if not self._fits_in_slots(trace):
+                break
+            self._pending.pop(0)
+            self._place(trace, now)
+
+    def _fits_in_slots(self, trace: KernelTrace) -> bool:
+        mapping = map_warps(
+            trace.tb_spec,
+            trace.num_warps,
+            self.config.processing_blocks,
+            self.config.features.group_pipeline_mapping,
+        )
+        load: dict[int, int] = {}
+        for pb in mapping.values():
+            load[pb] = load.get(pb, 0) + 1
+        for pb, extra in load.items():
+            if len(self._pbs[pb]) + extra > self.config.warp_slots_per_pb:
+                return False
+        return True
+
+    def _place(self, trace: KernelTrace, now: float) -> None:
+        spec = trace.tb_spec
+        expected = spec.barrier_expected if spec is not None else {}
+        initial = spec.barrier_initial if spec is not None else {}
+        capacities: dict[int, int] = {}
+        if spec is not None:
+            for queue in spec.queues:
+                capacities[queue.queue_id] = self.config.rfq_size
+        tb = _ResidentTB(
+            tb_index=self._next_tb,
+            trace=trace,
+            barriers=BarrierFile(trace.num_warps, expected, initial),
+            queues=QueueFile(capacities, self.config.features.queue_impl),
+        )
+        self._next_tb += 1
+        mapping = map_warps(
+            spec,
+            trace.num_warps,
+            self.config.processing_blocks,
+            self.config.features.group_pipeline_mapping,
+        )
+        for warp_trace in trace.warps:
+            run = _WarpRun(
+                key=self._next_key,
+                tb=tb,
+                instrs=warp_trace.instrs,
+                pipe_stage_id=warp_trace.pipe_stage_id,
+                slice_id=self._slice_of(spec, warp_trace.warp_id),
+                pb=mapping[warp_trace.warp_id],
+                age=self._age,
+                wake_at=now,
+            )
+            self._next_key += 1
+            self._age += 1
+            if not run.instrs:
+                run.done = True
+            tb.warps.append(run)
+            self._pbs[run.pb].append(run)
+        self._resident.append(tb)
+
+    @staticmethod
+    def _slice_of(spec: ThreadBlockSpec | None, warp_id: int) -> int:
+        if spec is None:
+            return warp_id
+        stage = spec.stage_of_warp(warp_id)
+        return spec.warps_in_stage(stage).index(warp_id)
+
+    def _retire_finished(self, now: float) -> None:
+        finished = [tb for tb in self._resident if tb.done()]
+        if not finished:
+            return
+        for tb in finished:
+            self._resident.remove(tb)
+            self.stats.tbs_completed += 1
+            for pb_warps in self._pbs:
+                pb_warps[:] = [w for w in pb_warps if w.tb is not tb]
+        self._admit(now)
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> SMStats:
+        now = 0.0
+        self._admit(now)
+        guard = 0
+        while self._resident or self._pending:
+            guard += 1
+            if guard > 200_000_000:
+                raise SimulationError("simulation exceeded cycle guard")
+            self.tma.advance(now)
+            issued_any = False
+            wake = INFINITY
+            for pb_index in range(self.config.processing_blocks):
+                result = self._issue_pb(pb_index, now)
+                if result is True:
+                    issued_any = True
+                elif result < wake:
+                    wake = result
+            self._retire_finished(now)
+            if not self._resident and not self._pending:
+                break
+            # Warps blocked on another agent (queue space/data, barrier
+            # arrivals) carry infinite wakes; re-arm them for recheck as
+            # long as something in the system is still making progress.
+            if issued_any or self.tma.busy():
+                self._rearm_infinite_waits(now + 1.0)
+            if issued_any:
+                now += 1.0
+            else:
+                wake = min(wake, self.tma.next_event_time())
+                if wake == INFINITY:
+                    self._raise_deadlock(now)
+                now = max(now + 1.0, math.ceil(wake))
+        self.stats.cycles = max(now, self.memory.drain_time())
+        return self.stats
+
+    def _rearm_infinite_waits(self, recheck_at: float) -> None:
+        for pb_warps in self._pbs:
+            for warp in pb_warps:
+                if not warp.done and warp.wake_at == INFINITY:
+                    warp.wake_at = recheck_at
+
+    def _raise_deadlock(self, now: float) -> None:
+        detail = {}
+        for tb in self._resident:
+            for warp in tb.warps:
+                if not warp.done:
+                    instr = warp.current()
+                    detail[(tb.tb_index, warp.key)] = (
+                        repr(instr.opcode) if instr else "end"
+                    )
+        raise DeadlockError(
+            f"SM deadlock at cycle {now}: blocked warps {detail}"
+        )
+
+    def _issue_pb(self, pb_index: int, now: float) -> Any:
+        """Try to issue one instruction; True or the earliest wake time."""
+        best: _WarpRun | None = None
+        best_key = None
+        wake = INFINITY
+        greedy = self._greedy[pb_index]
+        policy = self.config.features.scheduling_policy
+        pipeline_aware = self.config.features.pipeline_scheduling
+        for warp in self._pbs[pb_index]:
+            if warp.done or warp.wake_at > now:
+                wake = min(wake, warp.wake_at if not warp.done else INFINITY)
+                continue
+            can, warp_wake = self._can_issue(warp, now)
+            if not can:
+                warp.wake_at = warp_wake
+                wake = min(wake, warp_wake)
+                continue
+            state = self._sched_state(warp, now) if pipeline_aware else None
+            key = self._priority(policy if pipeline_aware else
+                                 self.config.features.scheduling_policy,
+                                 warp, state, greedy, now)
+            if best is None or key < best_key:
+                best, best_key = warp, key
+        if best is None:
+            return wake
+        self._execute(best, now)
+        self._greedy[pb_index] = best.key
+        return True
+
+    def _priority(self, policy, warp: _WarpRun, state, greedy, now):
+        if state is None:
+            # Baseline hardware is pipeline-agnostic: plain GTO order.
+            greedy_term = 0 if warp.key == greedy else 1
+            return (greedy_term, warp.age)
+        return priority_key(policy, state, greedy)
+
+    def _sched_state(self, warp: _WarpRun, now: float) -> WarpSchedState:
+        incoming_ready = False
+        incoming_full = False
+        spec = warp.tb.trace.tb_spec
+        if spec is not None:
+            for queue in spec.queues:
+                if queue.dst_stage != warp.pipe_stage_id:
+                    continue
+                chan = warp.tb.queues.channel(queue.queue_id, warp.slice_id)
+                if chan.has_ready_data(now):
+                    incoming_ready = True
+                if chan.is_full():
+                    incoming_full = True
+        return WarpSchedState(
+            warp_key=warp.key,
+            pipe_stage_id=warp.pipe_stage_id,
+            incoming_ready=incoming_ready,
+            incoming_full=incoming_full,
+            last_issued=warp.last_issued,
+            age=warp.age,
+        )
+
+    # -- issue legality -------------------------------------------------
+
+    def _can_issue(self, warp: _WarpRun, now: float) -> tuple[bool, float]:
+        if warp.pending_extra > 0:
+            return True, now
+        instr = warp.current()
+        if instr is None:
+            warp.done = True
+            return False, INFINITY
+        # Register dependences.
+        ready = now
+        for reg in instr.src_regs:
+            t = warp.scoreboard.get(reg)
+            if t is not None and t > ready:
+                ready = t
+        if ready > now:
+            return False, ready
+        # Queue pop: head entry must exist and its data be ready.  An
+        # empty channel can only be filled by another agent (producer
+        # warp or the TMA engine): wake is unknown (infinity) and the
+        # warp is re-armed by the main loop while progress continues.
+        if instr.queue_pop is not None:
+            chan = warp.tb.queues.channel(instr.queue_pop, warp.slice_id)
+            head = chan.head_ready_time()
+            if head is None:
+                return False, INFINITY
+            if head > now:
+                return False, head
+        # Queue push: space must exist (freed only by a consumer pop).
+        if instr.queue_push is not None:
+            chan = warp.tb.queues.channel(instr.queue_push, warp.slice_id)
+            if not chan.can_push():
+                return False, INFINITY
+        # Outstanding-load limit.
+        if instr.opcode is Opcode.LDG:
+            warp.outstanding = [t for t in warp.outstanding if t > now]
+            if (
+                len(warp.outstanding)
+                >= self.config.max_outstanding_loads_per_warp
+            ):
+                return False, min(warp.outstanding)
+        # Barriers.
+        if instr.opcode is Opcode.BAR_WAIT:
+            barrier = warp.tb.barriers.arrive_wait(instr.barrier_id)
+            pass_time = barrier.wait_pass_time(warp.key)
+            if pass_time > now:
+                return False, pass_time
+        if instr.opcode is Opcode.BAR_SYNC:
+            barrier = warp.tb.barriers.sync(instr.barrier_id)
+            if not warp.sync_marked:
+                barrier.arrive(warp.key, now)
+                warp.sync_marked = True
+            pass_time = barrier.pass_time(warp.key)
+            if pass_time > now:
+                return False, pass_time
+        return True, now
+
+    # -- execution ------------------------------------------------------
+
+    def _execute(self, warp: _WarpRun, now: float) -> None:
+        cfg = self.config
+        if warp.pending_extra > 0:
+            warp.pending_extra -= 1
+            self.stats.queue_overhead_instrs += 1
+            self.stats.count_issue(
+                now, InstrCategory.QUEUE, warp.pipe_stage_id, tensor_fp=False
+            )
+            warp.last_issued = now
+            warp.wake_at = now + 1.0
+            return
+        instr = warp.instrs[warp.pc]
+        opcode = instr.opcode
+        smem_queue = cfg.features.queue_impl is QueueImpl.SMEM
+
+        completion = now + cfg.int_latency
+        if instr.unit is FuncUnit.FP:
+            completion = now + cfg.fp_latency
+        elif instr.unit is FuncUnit.TENSOR:
+            completion = now + cfg.tensor_latency
+
+        if opcode is Opcode.LDG:
+            completion = self.memory.access_global(now, instr.sectors)
+            self.stats.count_sectors(now, len(instr.sectors))
+            warp.outstanding.append(completion)
+            if instr.queue_push is not None:
+                chan = warp.tb.queues.channel(instr.queue_push, warp.slice_id)
+                entry_ready = completion
+                if smem_queue:
+                    entry_ready = self.memory.access_smem(
+                        completion, warp.tb.trace.warp_width
+                    )
+                    warp.pending_extra += _SMEM_PUSH_EXTRA
+                chan.push(entry_ready)
+        elif opcode is Opcode.STG:
+            done = self.memory.access_global(now, instr.sectors)
+            self.stats.count_sectors(now, len(instr.sectors))
+            del done  # stores do not block the warp
+        elif opcode is Opcode.LDGSTS:
+            landed = self.memory.access_global(now, instr.sectors)
+            self.stats.count_sectors(now, len(instr.sectors))
+            landed = self.memory.access_smem(landed, instr.smem_words)
+            warp.async_copy_done = max(warp.async_copy_done, landed)
+        elif opcode in (Opcode.LDS, Opcode.STS):
+            completion = self.memory.access_smem(now, instr.smem_words)
+        elif opcode in (Opcode.TMA_TILE, Opcode.TMA_STREAM, Opcode.TMA_GATHER):
+            self._submit_tma(warp, instr, now)
+        elif opcode is Opcode.BAR_ARRIVE:
+            barrier = warp.tb.barriers.arrive_wait(instr.barrier_id)
+            barrier.arrive(max(now, warp.async_copy_done))
+        elif opcode is Opcode.BAR_WAIT:
+            barrier = warp.tb.barriers.arrive_wait(instr.barrier_id)
+            barrier.record_wait(warp.key)
+        elif opcode is Opcode.BAR_SYNC:
+            barrier = warp.tb.barriers.sync(instr.barrier_id)
+            barrier.record_pass(warp.key)
+            warp.sync_marked = False
+
+        if instr.queue_pop is not None:
+            chan = warp.tb.queues.channel(instr.queue_pop, warp.slice_id)
+            head = chan.pop()
+            data_ready = max(now, head)
+            if smem_queue:
+                data_ready = self.memory.access_smem(
+                    data_ready, warp.tb.trace.warp_width
+                )
+                warp.pending_extra += _SMEM_POP_EXTRA
+            completion = max(completion, data_ready + cfg.int_latency)
+
+        for reg in instr.dst_regs:
+            warp.scoreboard[reg] = completion
+
+        self.stats.count_issue(
+            now,
+            instr.category,
+            warp.pipe_stage_id,
+            tensor_fp=instr.unit in _TENSOR_FP_UNITS,
+        )
+        warp.last_issued = now
+        warp.pc += 1
+        warp.wake_at = now + 1.0
+        if warp.pc >= len(warp.instrs):
+            warp.done = True
+
+    def _submit_tma(
+        self, warp: _WarpRun, instr: DynamicInstr, now: float
+    ) -> None:
+        job = instr.tma_job or {}
+        channel = None
+        queue_id = job.get("queue")
+        if queue_id is not None:
+            channel = warp.tb.queues.channel(queue_id, warp.slice_id)
+        barrier_id = job.get("barrier")
+        on_complete = None
+        if barrier_id is not None:
+            barrier = warp.tb.barriers.arrive_wait(barrier_id)
+            on_complete = barrier.arrive
+        self.tma.submit(now, job, channel, on_complete)
+        self.stats.count_sectors(now, 0)

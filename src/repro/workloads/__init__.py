@@ -1,0 +1,13 @@
+"""Benchmark models (paper Table II).
+
+Each benchmark is a set of kernels built in the SASS-like IR whose
+memory-access skeletons match the paper's applications: streaming,
+gather, two-level gather, CSR sparse kernels, SMEM-tiled GEMM and
+stencils.  Synthetic sparse matrices and graphs stand in for the
+SuiteSparse/Lonestar inputs (see DESIGN.md for the substitution table).
+"""
+
+from repro.workloads.base import Benchmark, Kernel
+from repro.workloads.registry import all_benchmarks, get_benchmark
+
+__all__ = ["Benchmark", "Kernel", "all_benchmarks", "get_benchmark"]

@@ -1,0 +1,52 @@
+"""Benchmark and kernel descriptors."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.fexec.launch import LaunchConfig
+from repro.fexec.memory_image import MemoryImage
+from repro.isa.program import Program
+
+
+@dataclass
+class Kernel:
+    """One kernel of a benchmark.
+
+    Attributes:
+        name: Kernel name, unique within the benchmark.
+        program: The original (unspecialized) program.
+        image_factory: Builds a fresh memory image with the kernel's
+            inputs (runs mutate memory, so every simulation gets its own).
+        launch: Launch configuration for the original program.
+        weight: Relative share of benchmark runtime (launch count);
+            used to aggregate kernel times into an application time.
+        is_gemm: GEMM/cuBLAS-class kernel.  The paper's baseline models
+            CUTLASS warp specialization on these (tile-pipelined with
+            idealized warp mapping), so the harness compiles them with
+            the tile path even in the BASELINE configuration.
+    """
+
+    name: str
+    program: Program
+    image_factory: Callable[[], MemoryImage]
+    launch: LaunchConfig
+    weight: float = 1.0
+    is_gemm: bool = False
+
+
+@dataclass
+class Benchmark:
+    """A Table-II benchmark: a weighted set of kernels."""
+
+    name: str
+    category: str
+    description: str
+    kernels: list[Kernel] = field(default_factory=list)
+
+    def kernel(self, name: str) -> Kernel:
+        for kernel in self.kernels:
+            if kernel.name == name:
+                return kernel
+        raise KeyError(f"{self.name} has no kernel {name!r}")

@@ -1,0 +1,41 @@
+"""Synthetic graphs for the Lonestar benchmarks (bfs, mst, sp).
+
+Graphs are stored as CSR adjacency (reusing :class:`CsrMatrix`), which
+is also how the Lonestar GPU codes lay out their inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.sparse import CsrMatrix, power_law_csr, road_like_csr
+
+
+def power_law_graph(num_nodes: int, avg_degree: int = 8,
+                    seed: int = 17) -> CsrMatrix:
+    """Scale-free graph (social/web-like) as CSR adjacency."""
+    return power_law_csr(num_nodes, avg_nnz=avg_degree, seed=seed)
+
+
+def road_graph(num_nodes: int, seed: int = 19) -> CsrMatrix:
+    """Road-network-like graph as CSR adjacency."""
+    return road_like_csr(num_nodes, seed=seed)
+
+
+def bfs_frontier(graph: CsrMatrix, source: int = 0,
+                 depth: int = 2) -> np.ndarray:
+    """Node ids at the given BFS depth (a realistic mid-search frontier)."""
+    visited = {source}
+    frontier = [source]
+    for _ in range(depth):
+        next_frontier = []
+        for node in frontier:
+            start, end = graph.row_ptr[node], graph.row_ptr[node + 1]
+            for neighbour in graph.col_idx[start:end]:
+                if int(neighbour) not in visited:
+                    visited.add(int(neighbour))
+                    next_frontier.append(int(neighbour))
+        if not next_frontier:
+            break
+        frontier = next_frontier
+    return np.array(sorted(frontier), dtype=np.int64)

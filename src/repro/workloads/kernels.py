@@ -1,0 +1,675 @@
+"""Reusable kernel templates.
+
+Every Table-II benchmark is assembled from these memory-access
+skeletons.  All templates keep branches warp-uniform (divergence is
+handled with lane predication, as optimized GPU kernels do) and split
+work across thread blocks via ``TB_ID``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fexec.launch import LaunchConfig
+from repro.fexec.memory_image import MemoryImage
+from repro.isa.builder import ProgramBuilder
+from repro.isa.operands import Register, SpecialReg
+from repro.workloads.base import Kernel
+from repro.workloads.sparse import CsrMatrix
+
+WIDTH = 32
+
+
+def _prologue(builder: ProgramBuilder, elems_per_tb: int):
+    """Common index setup: returns (loop counter, global base, stride).
+
+    ``global base`` is the thread's starting element index including the
+    thread block offset; the loop advances by the block-stride.
+    """
+    lane = builder.special(SpecialReg.LANE_ID)
+    wid = builder.special(SpecialReg.WARP_ID)
+    nw = builder.special(SpecialReg.NUM_WARPS)
+    tb = builder.special(SpecialReg.TB_ID)
+    counter = builder.mov(0)
+    tid = builder.imad(wid, WIDTH, lane)
+    tb_off = builder.imul(tb, elems_per_tb)
+    base = builder.iadd(tid, tb_off)
+    stride = builder.imul(nw, WIDTH)
+    return counter, base, stride
+
+
+def _fp_chain(builder: ProgramBuilder, value: Register, ops: int) -> Register:
+    """``ops`` FFMA instructions over ``value``.
+
+    Short chains (ops <= 2) stay a single dependent chain; longer ones
+    fan out over several live accumulators, like the register-hungry
+    compute loops of real kernels — this is what skews register demand
+    toward the compute pipeline stage (paper Figure 7 / Figure 16).
+    """
+    if ops <= 0:
+        return value
+    if ops <= 2:
+        acc = value
+        for _ in range(ops):
+            acc = builder.ffma(acc, 1.0009765625, 0.25)
+        return acc
+    live = min(4, ops // 2)
+    temps = [
+        builder.ffma(value, 1.0 + (k + 1) / 1024.0, 0.125 * (k + 1))
+        for k in range(live)
+    ]
+    for step in range(ops - live):
+        idx = step % live
+        builder.ffma(temps[idx], 1.0009765625, 0.25, dst=temps[idx])
+    acc = temps[0]
+    for temp in temps[1:]:
+        acc = builder.fadd(acc, temp)
+    return acc
+
+
+def streaming_kernel(
+    name: str,
+    elems_per_tb: int = 2048,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    num_inputs: int = 1,
+    fp_ops: int = 2,
+    seed: int = 0,
+) -> Kernel:
+    """out[i] = f(in0[i], in1[i], ...): pure use-once streaming."""
+    total = elems_per_tb * num_tbs
+    input_names = [f"in{k}" for k in range(num_inputs)]
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 18)
+        rng = np.random.default_rng(seed)
+        for array in input_names:
+            img.alloc(array, total)
+            img.write_array(array, rng.uniform(-1, 1, total))
+        img.alloc("out", total)
+        return img
+
+    layout = image_factory()
+    bases = [layout.base(a) for a in input_names]
+    out_base = layout.base("out")
+
+    b = ProgramBuilder(name)
+    i, base, stride = _prologue(b, elems_per_tb)
+    b.label("loop")
+    pos = b.iadd(base, i)
+    acc = None
+    for array_base in bases:
+        addr = b.iadd(pos, array_base)
+        val = b.ldg(addr)
+        acc = val if acc is None else b.fadd(acc, val)
+    acc = _fp_chain(b, acc, fp_ops)
+    out_addr = b.iadd(pos, out_base)
+    b.stg(out_addr, acc)
+    b.iadd(i, stride, dst=i)
+    pred = b.isetp("lt", i, elems_per_tb)
+    b.bra("loop", guard=pred)
+    b.label("done")
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+def gather_kernel(
+    name: str,
+    elems_per_tb: int = 2048,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    table_words: int = 1 << 14,
+    hot_fraction: float = 0.0,
+    fp_ops: int = 2,
+    seed: int = 1,
+) -> Kernel:
+    """out[i] = f(table[idx[i]]): one-level use-once gather.
+
+    ``hot_fraction`` of the indices land in a small cache-resident
+    region (locality knob); the rest spread over the full table.
+    """
+    total = elems_per_tb * num_tbs
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 18)
+        rng = np.random.default_rng(seed)
+        idx = rng.integers(0, table_words, total)
+        if hot_fraction > 0:
+            hot = rng.random(total) < hot_fraction
+            idx[hot] = rng.integers(0, max(64, table_words // 64), hot.sum())
+        img.alloc("idx", total)
+        img.write_array("idx", idx)
+        img.alloc("table", table_words)
+        img.write_array("table", rng.uniform(-1, 1, table_words))
+        img.alloc("out", total)
+        return img
+
+    layout = image_factory()
+    idx_base = layout.base("idx")
+    table_base = layout.base("table")
+    out_base = layout.base("out")
+
+    b = ProgramBuilder(name)
+    i, base, stride = _prologue(b, elems_per_tb)
+    b.label("loop")
+    pos = b.iadd(base, i)
+    idx_addr = b.iadd(pos, idx_base)
+    index = b.ldg(idx_addr)
+    data_addr = b.iadd(index, table_base)
+    value = b.ldg(data_addr)
+    acc = _fp_chain(b, value, fp_ops)
+    out_addr = b.iadd(pos, out_base)
+    b.stg(out_addr, acc)
+    b.iadd(i, stride, dst=i)
+    pred = b.isetp("lt", i, elems_per_tb)
+    b.bra("loop", guard=pred)
+    b.label("done")
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+def ell_graph_kernel(
+    name: str,
+    frontier_per_tb: int = 512,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    degree: int = 8,
+    num_nodes: int = 1 << 13,
+    fp_ops: int = 0,
+    reduce_min: bool = True,
+    seed: int = 2,
+) -> Kernel:
+    """Two-level gather over padded (ELL) adjacency: the bfs/mst/sp shape.
+
+    For each frontier entry: load the node id, walk its ``degree``
+    neighbour slots, load each neighbour's value, and reduce (min for
+    BFS-style relaxation, sum otherwise) into an output per entry.
+    Three levels of memory indirection → a deep WASP pipeline.
+    """
+    total_frontier = frontier_per_tb * num_tbs
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 19)
+        rng = np.random.default_rng(seed)
+        img.alloc("frontier", total_frontier)
+        img.write_array(
+            "frontier", rng.integers(0, num_nodes, total_frontier)
+        )
+        img.alloc("adj", num_nodes * degree)
+        img.write_array(
+            "adj", rng.integers(0, num_nodes, num_nodes * degree)
+        )
+        img.alloc("dist", num_nodes)
+        img.write_array("dist", rng.uniform(0, 100, num_nodes))
+        img.alloc("out", total_frontier)
+        return img
+
+    layout = image_factory()
+    frontier_base = layout.base("frontier")
+    adj_base = layout.base("adj")
+    dist_base = layout.base("dist")
+    out_base = layout.base("out")
+
+    b = ProgramBuilder(name)
+    i, base, stride = _prologue(b, frontier_per_tb)
+    b.label("outer")
+    pos = b.iadd(base, i)
+    faddr = b.iadd(pos, frontier_base)
+    node = b.ldg(faddr)
+    row = b.imad(node, degree, adj_base)
+    acc = b.mov(1.0e9 if reduce_min else 0.0)
+    j = b.mov(0)
+    b.label("inner")
+    nb_addr = b.iadd(row, j)
+    neighbour = b.ldg(nb_addr)
+    dist_addr = b.iadd(neighbour, dist_base)
+    dist = b.ldg(dist_addr)
+    dist = _fp_chain(b, dist, fp_ops)
+    if reduce_min:
+        b.min_(acc, dist, dst=acc)
+    else:
+        b.fadd(acc, dist, dst=acc)
+    b.iadd(j, 1, dst=j)
+    inner_pred = b.isetp("lt", j, degree)
+    b.bra("inner", guard=inner_pred)
+    b.label("outer_tail")
+    out_addr = b.iadd(pos, out_base)
+    b.stg(out_addr, acc)
+    b.iadd(i, stride, dst=i)
+    outer_pred = b.isetp("lt", i, frontier_per_tb)
+    b.bra("outer", guard=outer_pred)
+    b.label("done")
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+def csr_spmv_kernel(
+    name: str,
+    matrix: CsrMatrix,
+    rows_per_tb: int = 128,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    seed: int = 3,
+) -> Kernel:
+    """CSR-vector SpMV: one row per warp, lanes strided over the row.
+
+    The row extents come from ``row_ptr`` loads that feed the inner-loop
+    trip count, so they are control-skeleton loads replicated into every
+    pipeline stage — the realistic cost of decoupling sparse kernels.
+    """
+    if rows_per_tb * num_tbs > matrix.num_rows:
+        raise ValueError(
+            f"{name}: matrix has {matrix.num_rows} rows but the launch "
+            f"covers {rows_per_tb * num_tbs}"
+        )
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 19)
+        rng = np.random.default_rng(seed)
+        img.alloc("row_ptr", matrix.num_rows + 1)
+        img.write_array("row_ptr", matrix.row_ptr)
+        # Pad nnz arrays by a warp so tail lanes read in-bounds (their
+        # contributions are predicated off).
+        img.alloc("cols", matrix.nnz + WIDTH)
+        img.write_array("cols", matrix.col_idx)
+        img.alloc("vals", matrix.nnz + WIDTH)
+        img.write_array("vals", matrix.values)
+        img.alloc("x", matrix.num_cols)
+        img.write_array("x", rng.uniform(-1, 1, matrix.num_cols))
+        img.alloc("y", matrix.num_rows)
+        return img
+
+    layout = image_factory()
+    rp, cols, vals = (
+        layout.base("row_ptr"), layout.base("cols"), layout.base("vals")
+    )
+    xb, yb = layout.base("x"), layout.base("y")
+
+    b = ProgramBuilder(name)
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    nw = b.special(SpecialReg.NUM_WARPS)
+    tb = b.special(SpecialReg.TB_ID)
+    row = b.mov(wid)
+    tb_row = b.imul(tb, rows_per_tb)
+    b.iadd(row, tb_row, dst=row)
+    warps_stride = b.mov(nw)
+    row_limit = b.iadd(tb_row, rows_per_tb)
+    b.label("row_loop")
+    rp_addr = b.iadd(row, rp)
+    start = b.ldg(rp_addr)
+    rp_addr2 = b.iadd(rp_addr, 1)
+    end = b.ldg(rp_addr2)
+    acc = b.mov(0.0)
+    jbase = b.mov(start)  # warp-uniform chunk cursor
+    b.label("nnz_loop")
+    j = b.iadd(jbase, lane)
+    active = b.isetp("lt", j, end)  # per-lane tail mask
+    col_addr = b.iadd(j, cols)
+    col = b.ldg(col_addr)
+    val_addr = b.iadd(j, vals)
+    val = b.ldg(val_addr)
+    x_addr = b.iadd(col, xb)
+    x = b.ldg(x_addr)
+    contrib = b.fmul(val, x)
+    masked = b.sel(active, contrib, 0.0)
+    b.fadd(acc, masked, dst=acc)
+    b.iadd(jbase, WIDTH, dst=jbase)
+    more = b.isetp("lt", jbase, end)  # uniform: both operands uniform
+    b.bra("nnz_loop", guard=more)
+    b.label("row_tail")
+    total = b.warp_sum(acc)
+    y_addr = b.iadd(row, yb)
+    b.stg(y_addr, total)
+    b.iadd(row, warps_stride, dst=row)
+    row_pred = b.isetp("lt", row, row_limit)
+    b.bra("row_loop", guard=row_pred)
+    b.label("done")
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+def csr_spmm_kernel(
+    name: str,
+    matrix: CsrMatrix,
+    rows_per_tb: int = 64,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    seed: int = 6,
+) -> Kernel:
+    """CSR SpMM (C = A @ B, B dense with WIDTH columns): one row per warp.
+
+    Lanes cover B's columns, so every sparse entry triggers a dependent
+    coalesced load of one B row — the serialized col->B chain that makes
+    the baseline latency-bound and gives WASP its largest sparse wins
+    (spmm2_web in the paper).
+    """
+    if rows_per_tb * num_tbs > matrix.num_rows:
+        raise ValueError(
+            f"{name}: matrix has {matrix.num_rows} rows but the launch "
+            f"covers {rows_per_tb * num_tbs}"
+        )
+    row_lengths = matrix.row_ptr[1:] - matrix.row_ptr[:-1]
+    if row_lengths.min() < 1:
+        raise ValueError(f"{name}: SpMM kernel requires >= 1 nnz per row")
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 20)
+        rng = np.random.default_rng(seed)
+        img.alloc("row_ptr", matrix.num_rows + 1)
+        img.write_array("row_ptr", matrix.row_ptr)
+        img.alloc("cols", matrix.nnz + WIDTH)
+        img.write_array("cols", matrix.col_idx)
+        img.alloc("vals", matrix.nnz + WIDTH)
+        img.write_array("vals", matrix.values)
+        img.alloc("bdense", matrix.num_cols * WIDTH)
+        img.write_array(
+            "bdense", rng.uniform(-1, 1, matrix.num_cols * WIDTH)
+        )
+        img.alloc("cdense", matrix.num_rows * WIDTH)
+        return img
+
+    layout = image_factory()
+    rp, cols, vals = (
+        layout.base("row_ptr"), layout.base("cols"), layout.base("vals")
+    )
+    bb, cb = layout.base("bdense"), layout.base("cdense")
+
+    b = ProgramBuilder(name)
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    nw = b.special(SpecialReg.NUM_WARPS)
+    tb = b.special(SpecialReg.TB_ID)
+    tb_row = b.imul(tb, rows_per_tb)
+    row = b.iadd(tb_row, wid)
+    row_limit = b.iadd(tb_row, rows_per_tb)
+    b.label("row_loop")
+    rp_addr = b.iadd(row, rp)
+    start = b.ldg(rp_addr)
+    rp_addr2 = b.iadd(rp_addr, 1)
+    end = b.ldg(rp_addr2)
+    acc = b.mov(0.0)
+    j = b.mov(start)
+    b.label("nnz_loop")
+    col_addr = b.iadd(j, cols)
+    col = b.ldg(col_addr)
+    val_addr = b.iadd(j, vals)
+    val = b.ldg(val_addr)
+    brow = b.imad(col, WIDTH, bb)
+    b_addr = b.iadd(brow, lane)
+    bval = b.ldg(b_addr)
+    b.ffma(val, bval, acc, dst=acc)
+    b.iadd(j, 1, dst=j)
+    more = b.isetp("lt", j, end)
+    b.bra("nnz_loop", guard=more)
+    b.label("row_tail")
+    crow = b.imad(row, WIDTH, cb)
+    c_addr = b.iadd(crow, lane)
+    b.stg(c_addr, acc)
+    b.iadd(row, nw, dst=row)
+    row_pred = b.isetp("lt", row, row_limit)
+    b.bra("row_loop", guard=row_pred)
+    b.label("done")
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+def tile_gemm_kernel(
+    name: str,
+    k_tiles: int = 12,
+    tile_elems: int = 512,
+    num_tbs: int = 2,
+    num_warps: int = 4,
+    hmma_per_tile: int = 24,
+    seed: int = 4,
+) -> Kernel:
+    """SMEM-tiled GEMM skeleton (the CUTLASS pattern, Figure 1).
+
+    Per K-tile: cooperative LDGSTS of A and B tiles into SMEM between
+    barriers, then TensorCore (HMMA) accumulation out of SMEM.  This is
+    the kernel class the paper's baseline already runs warp-specialized
+    (CUTLASS); WASP's tile path plus double buffering reproduces it
+    automatically.
+    """
+    tile_per_warp = tile_elems // num_warps  # elems each warp copies
+    total = tile_elems * k_tiles * num_tbs
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 19)
+        rng = np.random.default_rng(seed)
+        img.alloc("a", total)
+        img.write_array("a", rng.uniform(-1, 1, total))
+        img.alloc("bmat", total)
+        img.write_array("bmat", rng.uniform(-1, 1, total))
+        img.alloc("c", tile_elems * num_tbs)
+        return img
+
+    layout = image_factory()
+    a_base, b_base, c_base = (
+        layout.base("a"), layout.base("bmat"), layout.base("c")
+    )
+
+    b = ProgramBuilder(name)
+    buf_a = b.alloc_smem("tile_a", tile_elems)
+    buf_b = b.alloc_smem("tile_b", tile_elems)
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    tb = b.special(SpecialReg.TB_ID)
+    tid = b.imad(wid, WIDTH, lane)
+    tb_off = b.imul(tb, tile_elems * k_tiles)
+    acc = b.mov(0.0)
+    t = b.mov(0)
+    copies_per_thread = max(1, tile_per_warp // WIDTH)
+    b.label("tile_loop")
+    b.bar_sync("tb")
+    tile_base = b.imad(t, tile_elems, tb_off)
+    for copy in range(copies_per_thread):
+        offset = b.iadd(tid, copy * num_warps * WIDTH)
+        ga = b.iadd(tile_base, offset)
+        ga2 = b.iadd(ga, a_base)
+        sa = b.iadd(offset, buf_a)
+        b.ldgsts(ga2, sa, buffer="tile_a")
+        gb = b.iadd(ga, b_base)
+        sb = b.iadd(offset, buf_b)
+        b.ldgsts(gb, sb, buffer="tile_b")
+    b.bar_sync("tb")
+    k = b.mov(0)
+    b.label("mma_loop")
+    slot = b.imad(k, WIDTH, lane)
+    wrapped = b.and_(slot, tile_elems - 1)
+    sa_addr = b.iadd(wrapped, buf_a)
+    frag_a = b.lds(sa_addr, buffer="tile_a")
+    sb_addr = b.iadd(wrapped, buf_b)
+    frag_b = b.lds(sb_addr, buffer="tile_b")
+    b.hmma(frag_a, frag_b, acc, dst=acc)
+    b.iadd(k, 1, dst=k)
+    mma_pred = b.isetp("lt", k, hmma_per_tile)
+    b.bra("mma_loop", guard=mma_pred)
+    b.label("tile_tail")
+    b.iadd(t, 1, dst=t)
+    tile_pred = b.isetp("lt", t, k_tiles)
+    b.bra("tile_loop", guard=tile_pred)
+    b.label("epilogue")
+    c_off = b.imul(tb, tile_elems)
+    c_addr = b.iadd(tid, c_off)
+    c_addr2 = b.iadd(c_addr, c_base)
+    b.stg(c_addr2, acc)
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+        is_gemm=True,
+    )
+
+
+def tile_reduce_kernel(
+    name: str,
+    tiles: int = 12,
+    tile_elems: int = 256,
+    num_tbs: int = 2,
+    num_warps: int = 4,
+    fp_ops: int = 2,
+    seed: int = 7,
+) -> Kernel:
+    """Non-GEMM SMEM tile pattern: staged reduction through a buffer.
+
+    The Figure 1 pattern outside GEMM libraries: per tile, cooperatively
+    stage data into SMEM between barriers, then reduce out of SMEM.
+    Because it is not a GEMM, the paper's baseline does NOT run it
+    through CUTLASS — this is exactly the kernel class that
+    WASP_COMPILER_TILE newly transforms.
+    """
+    per_thread = max(1, tile_elems // (num_warps * WIDTH))
+    total = tiles * tile_elems * num_tbs
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 19)
+        rng = np.random.default_rng(seed)
+        img.alloc("a", total)
+        img.write_array("a", rng.uniform(-1, 1, total))
+        img.alloc("out", tile_elems * num_tbs)
+        return img
+
+    layout = image_factory()
+    a_base, out_base = layout.base("a"), layout.base("out")
+
+    b = ProgramBuilder(name)
+    buf = b.alloc_smem("stage_buf", tile_elems)
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    tb = b.special(SpecialReg.TB_ID)
+    tid = b.imad(wid, WIDTH, lane)
+    tb_off = b.imul(tb, tiles * tile_elems)
+    acc = b.mov(0.0)
+    t = b.mov(0)
+    b.label("tile_loop")
+    b.bar_sync("tb")
+    tile_base = b.imad(t, tile_elems, tb_off)
+    for copy in range(per_thread):
+        offset = b.iadd(tid, copy * num_warps * WIDTH)
+        ga = b.iadd(tile_base, offset)
+        ga2 = b.iadd(ga, a_base)
+        sa = b.iadd(offset, buf)
+        b.ldgsts(ga2, sa, buffer="stage_buf")
+    b.bar_sync("tb")
+    for copy in range(per_thread):
+        offset = b.iadd(tid, copy * num_warps * WIDTH)
+        sa = b.iadd(offset, buf)
+        val = b.lds(sa, buffer="stage_buf")
+        val = _fp_chain(b, val, fp_ops)
+        b.fadd(acc, val, dst=acc)
+    b.iadd(t, 1, dst=t)
+    pred = b.isetp("lt", t, tiles)
+    b.bra("tile_loop", guard=pred)
+    b.label("epilogue")
+    out_off = b.imul(tb, tile_elems)
+    oa = b.iadd(tid, out_off)
+    oa2 = b.iadd(oa, out_base)
+    b.stg(oa2, acc)
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+def stencil_kernel(
+    name: str,
+    elems_per_tb: int = 2048,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    offsets: tuple[int, ...] = (-64, -1, 0, 1, 64),
+    fp_ops: int = 1,
+    seed: int = 5,
+) -> Kernel:
+    """Multi-point stencil: several affine streams into one update.
+
+    The hpgmg/hpcg/snap smoothing shape: every point reads a handful of
+    shifted input streams (partially cache-resident) and writes one
+    output stream.
+    """
+    total = elems_per_tb * num_tbs
+    halo = max(abs(o) for o in offsets) + 8
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 18)
+        rng = np.random.default_rng(seed)
+        img.alloc("grid", total + 2 * halo)
+        img.write_array("grid", rng.uniform(-1, 1, total + 2 * halo))
+        img.alloc("out", total)
+        return img
+
+    layout = image_factory()
+    grid_base = layout.base("grid") + halo
+    out_base = layout.base("out")
+
+    b = ProgramBuilder(name)
+    i, base, stride = _prologue(b, elems_per_tb)
+    b.label("loop")
+    pos = b.iadd(base, i)
+    centre = b.iadd(pos, grid_base)
+    acc = None
+    for offset in offsets:
+        addr = b.iadd(centre, offset)
+        val = b.ldg(addr)
+        acc = val if acc is None else b.fadd(acc, val)
+    acc = b.fmul(acc, 1.0 / len(offsets))
+    acc = _fp_chain(b, acc, fp_ops)
+    out_addr = b.iadd(pos, out_base)
+    b.stg(out_addr, acc)
+    b.iadd(i, stride, dst=i)
+    pred = b.isetp("lt", i, elems_per_tb)
+    b.bra("loop", guard=pred)
+    b.label("done")
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )

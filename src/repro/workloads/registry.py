@@ -1,0 +1,64 @@
+"""Benchmark registry (populated by the per-domain modules)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.workloads.base import Benchmark
+
+_BUILDERS: dict[str, Callable[[float], Benchmark]] = {}
+_CACHE: dict[tuple[str, float], Benchmark] = {}
+
+
+def register(name: str):
+    """Decorator registering a benchmark builder under ``name``.
+
+    Builders take a ``scale`` float (1.0 = default problem size) so the
+    bench harness can run reduced-size sweeps.
+    """
+
+    def wrap(builder: Callable[[float], Benchmark]):
+        _BUILDERS[name] = builder
+        return builder
+
+    return wrap
+
+
+def get_benchmark(name: str, scale: float = 1.0) -> Benchmark:
+    """Build (and cache) a benchmark model."""
+    _load_all()
+    key = (name, scale)
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[name](scale)
+    return _CACHE[key]
+
+
+def all_benchmarks() -> list[str]:
+    """Names of every registered benchmark, in Table II order."""
+    _load_all()
+    order = [
+        "3d_unet", "bert", "curobo", "dlrm", "gpt2", "pointnet", "rnnt",
+        "spmv1_g3", "spmv2_web", "spmm1_g3", "spmm2_web",
+        "spgemm1_econ", "spgemm2_road",
+        "hpcg", "hpgmg", "lulesh", "snap",
+        "lonestar_bfs", "lonestar_mst", "lonestar_sp",
+    ]
+    registered = set(_BUILDERS)
+    ordered = [n for n in order if n in registered]
+    ordered.extend(sorted(registered - set(order)))
+    return ordered
+
+
+_loaded = False
+
+
+def _load_all() -> None:
+    global _loaded
+    if _loaded:
+        return
+    _loaded = True
+    # Import for registration side effects.
+    from repro.workloads import graph_suite  # noqa: F401
+    from repro.workloads import hpc  # noqa: F401
+    from repro.workloads import ml  # noqa: F401
+    from repro.workloads import sparse_suite  # noqa: F401

@@ -1,0 +1,114 @@
+"""Synthetic sparse matrices in CSR form.
+
+Stand-ins for the SuiteSparse inputs the paper uses:
+
+* :func:`banded_csr` — regular, narrow-band structure like
+  ``AMD/G3_circuit`` (FEM circuit matrix, ~4.8 nnz/row, clustered
+  columns → good gather locality).
+* :func:`power_law_csr` — skewed structure like ``Williams/webbase-1M``
+  (web graph, power-law rows, scattered columns → poor locality).
+* :func:`road_like_csr` — near-planar constant-degree structure like
+  ``SNAP/roadNet-CA``.
+
+The generators are deterministic given a seed so every simulation of a
+benchmark sees identical data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """CSR arrays; indices are int64, values float64."""
+
+    num_rows: int
+    num_cols: int
+    row_ptr: np.ndarray
+    col_idx: np.ndarray
+    values: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return int(self.row_ptr[-1])
+
+    def spmv(self, x: np.ndarray) -> np.ndarray:
+        """Reference y = A @ x for functional checks."""
+        y = np.zeros(self.num_rows)
+        for row in range(self.num_rows):
+            start, end = self.row_ptr[row], self.row_ptr[row + 1]
+            cols = self.col_idx[start:end]
+            y[row] = float(np.dot(self.values[start:end], x[cols]))
+        return y
+
+
+def _finalize(num_rows: int, num_cols: int, rows: list[np.ndarray],
+              rng: np.random.Generator) -> CsrMatrix:
+    row_ptr = np.zeros(num_rows + 1, dtype=np.int64)
+    cols = []
+    for row, row_cols in enumerate(rows):
+        unique = np.unique(row_cols)
+        cols.append(unique)
+        row_ptr[row + 1] = row_ptr[row] + len(unique)
+    col_idx = np.concatenate(cols) if cols else np.zeros(0, dtype=np.int64)
+    values = rng.uniform(0.5, 1.5, size=len(col_idx))
+    return CsrMatrix(num_rows, num_cols, row_ptr, col_idx, values)
+
+
+def banded_csr(
+    num_rows: int, nnz_per_row: int = 5, bandwidth: int = 16, seed: int = 7
+) -> CsrMatrix:
+    """Regular banded matrix (G3_circuit-like)."""
+    rng = np.random.default_rng(seed)
+    rows = []
+    for row in range(num_rows):
+        lo = max(0, row - bandwidth)
+        hi = min(num_rows - 1, row + bandwidth)
+        count = min(nnz_per_row, hi - lo + 1)
+        row_cols = rng.choice(
+            np.arange(lo, hi + 1), size=count, replace=False
+        )
+        rows.append(np.sort(np.append(row_cols, row) % num_rows))
+    return _finalize(num_rows, num_rows, rows, rng)
+
+
+def power_law_csr(
+    num_rows: int, avg_nnz: int = 8, alpha: float = 1.6, seed: int = 11
+) -> CsrMatrix:
+    """Power-law matrix (webbase-like): skewed rows, scattered columns."""
+    rng = np.random.default_rng(seed)
+    raw = rng.pareto(alpha, size=num_rows) + 1.0
+    lengths = np.maximum(
+        1, (raw / raw.mean() * avg_nnz).astype(np.int64)
+    )
+    lengths = np.minimum(lengths, max(4, num_rows // 2))
+    # Column popularity is itself skewed (hub columns).
+    popularity = rng.pareto(alpha, size=num_rows) + 1.0
+    popularity /= popularity.sum()
+    rows = [
+        rng.choice(num_rows, size=int(n), replace=True, p=popularity)
+        for n in lengths
+    ]
+    return _finalize(num_rows, num_rows, rows, rng)
+
+
+def road_like_csr(num_rows: int, seed: int = 13) -> CsrMatrix:
+    """Near-planar constant-degree matrix (roadNet-like)."""
+    rng = np.random.default_rng(seed)
+    side = max(2, int(np.sqrt(num_rows)))
+    rows = []
+    for row in range(num_rows):
+        x, y = row % side, row // side
+        neighbours = []
+        for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, ny = x + dx, y + dy
+            node = ny * side + nx
+            if 0 <= nx < side and 0 <= node < num_rows:
+                neighbours.append(node)
+        if rng.random() < 0.05:  # occasional shortcut (ramps/bridges)
+            neighbours.append(int(rng.integers(0, num_rows)))
+        rows.append(np.array(neighbours, dtype=np.int64))
+    return _finalize(num_rows, num_rows, rows, rng)

@@ -1,0 +1,343 @@
+"""cuSPARSE benchmarks: SpMV, SpMM and SpGEMM (Table II, middle block).
+
+Matrix stand-ins: ``banded_csr`` for AMD/G3_circuit, ``power_law_csr``
+for Williams/webbase-1M and Williams/mac_econ_fwd500, ``road_like_csr``
+for SNAP/roadNet-CA (see :mod:`repro.workloads.sparse`).
+"""
+
+from __future__ import annotations
+
+from repro.fexec.launch import LaunchConfig
+from repro.fexec.memory_image import MemoryImage
+from repro.isa.builder import ProgramBuilder
+from repro.isa.operands import SpecialReg
+from repro.workloads.base import Benchmark, Kernel
+from repro.workloads.kernels import WIDTH, csr_spmm_kernel, csr_spmv_kernel
+from repro.workloads.registry import register
+from repro.workloads.sparse import (
+    CsrMatrix,
+    banded_csr,
+    power_law_csr,
+    road_like_csr,
+)
+
+_HASH_WORDS = 128  # per-warp SMEM accumulator for SpGEMM
+
+
+def _rows(scale: float, base: int) -> int:
+    return max(32, int(base * scale) // 32 * 32)
+
+
+@register("spmv1_g3")
+def build_spmv1(scale: float = 1.0) -> Benchmark:
+    rows = _rows(scale, 512)
+    matrix = banded_csr(rows, nnz_per_row=6, bandwidth=16, seed=60)
+    return Benchmark(
+        name="spmv1_g3",
+        category="cuSPARSE",
+        description="Sparse matrix dense vector multiply (G3-circuit-like)",
+        kernels=[
+            csr_spmv_kernel("spmv_vector", matrix,
+                            rows_per_tb=rows // 4, num_tbs=4, seed=61),
+            csr_spmv_kernel("spmv_vector_2", matrix,
+                            rows_per_tb=rows // 8, num_tbs=8, seed=62),
+        ],
+    )
+
+
+@register("spmv2_web")
+def build_spmv2(scale: float = 1.0) -> Benchmark:
+    rows = _rows(scale, 512)
+    matrix = power_law_csr(rows, avg_nnz=10, seed=63)
+    return Benchmark(
+        name="spmv2_web",
+        category="cuSPARSE",
+        description="Sparse matrix dense vector multiply (webbase-like)",
+        kernels=[
+            csr_spmv_kernel("spmv_vector", matrix,
+                            rows_per_tb=rows // 4, num_tbs=4, seed=64),
+            csr_spmv_kernel("spmv_vector_2", matrix,
+                            rows_per_tb=rows // 8, num_tbs=8, seed=65),
+        ],
+    )
+
+
+@register("spmm1_g3")
+def build_spmm1(scale: float = 1.0) -> Benchmark:
+    rows = _rows(scale, 256)
+    matrix = banded_csr(rows, nnz_per_row=6, bandwidth=16, seed=66)
+    return Benchmark(
+        name="spmm1_g3",
+        category="cuSPARSE",
+        description="Sparse matrix dense matrix multiply (G3-circuit-like)",
+        kernels=[
+            csr_spmm_kernel("spmm_row_warp", matrix,
+                            rows_per_tb=rows // 4, num_tbs=4, seed=67),
+        ],
+    )
+
+
+@register("spmm2_web")
+def build_spmm2(scale: float = 1.0) -> Benchmark:
+    rows = _rows(scale, 256)
+    matrix = power_law_csr(rows, avg_nnz=12, seed=68)
+    return Benchmark(
+        name="spmm2_web",
+        category="cuSPARSE",
+        description="Sparse matrix dense matrix multiply (webbase-like)",
+        kernels=[
+            csr_spmm_kernel("spmm_row_warp", matrix,
+                            rows_per_tb=rows // 4, num_tbs=4, seed=69),
+        ],
+    )
+
+
+def spgemm_numeric_kernel(
+    name: str,
+    a: CsrMatrix,
+    b: CsrMatrix,
+    rows_per_tb: int,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    seed: int = 70,
+) -> Kernel:
+    """Row-wise SpGEMM numeric phase with a per-warp SMEM hash.
+
+    For each row of A: walk its entries; for each (c, av) walk row c of
+    B with lanes strided, accumulating av*bv into a per-warp SMEM hash
+    indexed by the B column.  The hash is then flushed to the dense
+    output row.  This is the Kokkos/nsparse-style GPU SpGEMM shape:
+    data-dependent nested loops, gathers into B, and SMEM traffic.
+    """
+    if rows_per_tb * num_tbs > a.num_rows:
+        raise ValueError(f"{name}: launch exceeds A rows")
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 20)
+        img.alloc("a_ptr", a.num_rows + 1)
+        img.write_array("a_ptr", a.row_ptr)
+        img.alloc("a_cols", a.nnz + WIDTH)
+        img.write_array("a_cols", a.col_idx)
+        img.alloc("a_vals", a.nnz + WIDTH)
+        img.write_array("a_vals", a.values)
+        img.alloc("b_ptr", b.num_rows + 1)
+        img.write_array("b_ptr", b.row_ptr)
+        img.alloc("b_cols", b.nnz + WIDTH)
+        img.write_array("b_cols", b.col_idx)
+        img.alloc("b_vals", b.nnz + WIDTH)
+        img.write_array("b_vals", b.values)
+        img.alloc("c_out", a.num_rows * _HASH_WORDS)
+        return img
+
+    layout = image_factory()
+    ap, ac, av = (layout.base("a_ptr"), layout.base("a_cols"),
+                  layout.base("a_vals"))
+    bp, bc, bv = (layout.base("b_ptr"), layout.base("b_cols"),
+                  layout.base("b_vals"))
+    cb = layout.base("c_out")
+
+    builder = ProgramBuilder(name)
+    hash_base = builder.alloc_smem("hash", _HASH_WORDS * num_warps)
+    lane = builder.special(SpecialReg.LANE_ID)
+    wid = builder.special(SpecialReg.WARP_ID)
+    nw = builder.special(SpecialReg.NUM_WARPS)
+    tb = builder.special(SpecialReg.TB_ID)
+    warp_hash = builder.imad(wid, _HASH_WORDS, hash_base)
+    tb_row = builder.imul(tb, rows_per_tb)
+    row = builder.iadd(tb_row, wid)
+    row_limit = builder.iadd(tb_row, rows_per_tb)
+    builder.label("row_loop")
+    # Zero this warp's hash (lanes cover the slots).
+    z = builder.mov(0)
+    builder.label("zero_loop")
+    slot = builder.iadd(z, lane)
+    zaddr = builder.iadd(slot, warp_hash)
+    builder.sts(zaddr, 0.0, buffer="hash")
+    builder.iadd(z, WIDTH, dst=z)
+    zp = builder.isetp("lt", z, _HASH_WORDS)
+    builder.bra("zero_loop", guard=zp)
+    builder.label("a_row")
+    ap_addr = builder.iadd(row, ap)
+    a_start = builder.ldg(ap_addr)
+    ap_addr2 = builder.iadd(ap_addr, 1)
+    a_end = builder.ldg(ap_addr2)
+    ja = builder.mov(a_start)
+    builder.label("a_nnz")
+    acol_addr = builder.iadd(ja, ac)
+    acol = builder.ldg(acol_addr)
+    aval_addr = builder.iadd(ja, av)
+    aval = builder.ldg(aval_addr)
+    bp_addr = builder.iadd(acol, bp)
+    b_start = builder.ldg(bp_addr)
+    bp_addr2 = builder.iadd(bp_addr, 1)
+    b_end = builder.ldg(bp_addr2)
+    jb = builder.mov(b_start)
+    builder.label("b_nnz")
+    jlane = builder.iadd(jb, lane)
+    active = builder.isetp("lt", jlane, b_end)
+    bcol_addr = builder.iadd(jlane, bc)
+    bcol = builder.ldg(bcol_addr)
+    bval_addr = builder.iadd(jlane, bv)
+    bval = builder.ldg(bval_addr)
+    contrib = builder.fmul(aval, bval)
+    masked = builder.sel(active, contrib, 0.0)
+    hslot = builder.and_(bcol, _HASH_WORDS - 1)
+    haddr = builder.iadd(hslot, warp_hash)
+    current = builder.lds(haddr, buffer="hash")
+    updated = builder.fadd(current, masked)
+    builder.sts(haddr, updated, buffer="hash")
+    builder.iadd(jb, WIDTH, dst=jb)
+    bmore = builder.isetp("lt", jb, b_end)
+    builder.bra("b_nnz", guard=bmore)
+    builder.label("a_next")
+    builder.iadd(ja, 1, dst=ja)
+    amore = builder.isetp("lt", ja, a_end)
+    builder.bra("a_nnz", guard=amore)
+    builder.label("flush")
+    f = builder.mov(0)
+    crow = builder.imul(row, _HASH_WORDS)
+    builder.label("flush_loop")
+    fslot = builder.iadd(f, lane)
+    faddr = builder.iadd(fslot, warp_hash)
+    value = builder.lds(faddr, buffer="hash")
+    caddr0 = builder.iadd(crow, fslot)
+    caddr = builder.iadd(caddr0, cb)
+    builder.stg(caddr, value)
+    builder.iadd(f, WIDTH, dst=f)
+    fp = builder.isetp("lt", f, _HASH_WORDS)
+    builder.bra("flush_loop", guard=fp)
+    builder.label("row_next")
+    builder.iadd(row, nw, dst=row)
+    rp = builder.isetp("lt", row, row_limit)
+    builder.bra("row_loop", guard=rp)
+    builder.label("done")
+    builder.exit()
+    return Kernel(
+        name=name,
+        program=builder.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+def spgemm_symbolic_kernel(
+    name: str,
+    a: CsrMatrix,
+    b: CsrMatrix,
+    rows_per_tb: int,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    seed: int = 77,
+) -> Kernel:
+    """Row-wise SpGEMM symbolic phase: count output nnz per row.
+
+    Real GPU SpGEMM runs a counting pass before the numeric pass; the
+    access pattern is the same nested CSR walk but with a warp-collective
+    population count instead of value accumulation — pure gather traffic
+    with almost no FP work, an even better WASP target.
+    """
+    if rows_per_tb * num_tbs > a.num_rows:
+        raise ValueError(f"{name}: launch exceeds A rows")
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 20)
+        img.alloc("a_ptr", a.num_rows + 1)
+        img.write_array("a_ptr", a.row_ptr)
+        img.alloc("a_cols", a.nnz + WIDTH)
+        img.write_array("a_cols", a.col_idx)
+        img.alloc("b_ptr", b.num_rows + 1)
+        img.write_array("b_ptr", b.row_ptr)
+        img.alloc("counts", a.num_rows)
+        return img
+
+    layout = image_factory()
+    ap, ac = layout.base("a_ptr"), layout.base("a_cols")
+    bp, cnt = layout.base("b_ptr"), layout.base("counts")
+
+    builder = ProgramBuilder(name)
+    lane = builder.special(SpecialReg.LANE_ID)
+    wid = builder.special(SpecialReg.WARP_ID)
+    nw = builder.special(SpecialReg.NUM_WARPS)
+    tb = builder.special(SpecialReg.TB_ID)
+    tb_row = builder.imul(tb, rows_per_tb)
+    row = builder.iadd(tb_row, wid)
+    row_limit = builder.iadd(tb_row, rows_per_tb)
+    builder.label("row_loop")
+    ap_addr = builder.iadd(row, ap)
+    a_start = builder.ldg(ap_addr)
+    ap_addr2 = builder.iadd(ap_addr, 1)
+    a_end = builder.ldg(ap_addr2)
+    total = builder.mov(0.0)
+    # Lanes cover A-row entries in chunks; each fetches its entry's B
+    # row extent and contributes that row's length.
+    jbase = builder.mov(a_start)
+    builder.label("a_chunk")
+    j = builder.iadd(jbase, lane)
+    active = builder.isetp("lt", j, a_end)
+    acol_addr = builder.iadd(j, ac)
+    acol = builder.ldg(acol_addr)
+    bp_addr = builder.iadd(acol, bp)
+    b_start = builder.ldg(bp_addr)
+    bp_addr2 = builder.iadd(bp_addr, 1)
+    b_end = builder.ldg(bp_addr2)
+    raw_len = builder.iadd(b_end, builder.imul(b_start, -1))
+    length = builder.sel(active, raw_len, 0)
+    chunk_total = builder.warp_sum(length)
+    builder.fadd(total, chunk_total, dst=total)
+    builder.iadd(jbase, WIDTH, dst=jbase)
+    more = builder.isetp("lt", jbase, a_end)
+    builder.bra("a_chunk", guard=more)
+    builder.label("row_store")
+    cnt_addr = builder.iadd(row, cnt)
+    builder.stg(cnt_addr, total)
+    builder.iadd(row, nw, dst=row)
+    row_pred = builder.isetp("lt", row, row_limit)
+    builder.bra("row_loop", guard=row_pred)
+    builder.label("done")
+    builder.exit()
+    return Kernel(
+        name=name,
+        program=builder.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+@register("spgemm1_econ")
+def build_spgemm1(scale: float = 1.0) -> Benchmark:
+    rows = _rows(scale, 192)
+    a = power_law_csr(rows, avg_nnz=5, alpha=2.2, seed=71)
+    b = power_law_csr(rows, avg_nnz=5, alpha=2.2, seed=72)
+    return Benchmark(
+        name="spgemm1_econ",
+        category="cuSPARSE",
+        description="Sparse x sparse multiply (mac_econ-like)",
+        kernels=[
+            spgemm_symbolic_kernel("spgemm_symbolic", a, b,
+                                   rows_per_tb=rows // 4, seed=77),
+            spgemm_numeric_kernel("spgemm_numeric", a, b,
+                                  rows_per_tb=rows // 4, seed=73),
+        ],
+    )
+
+
+@register("spgemm2_road")
+def build_spgemm2(scale: float = 1.0) -> Benchmark:
+    rows = _rows(scale, 192)
+    a = road_like_csr(rows, seed=74)
+    b = road_like_csr(rows, seed=75)
+    return Benchmark(
+        name="spgemm2_road",
+        category="cuSPARSE",
+        description="Sparse x sparse multiply (roadNet-like)",
+        kernels=[
+            spgemm_symbolic_kernel("spgemm_symbolic", a, b,
+                                   rows_per_tb=rows // 4, seed=78),
+            spgemm_numeric_kernel("spgemm_numeric", a, b,
+                                  rows_per_tb=rows // 4, seed=76),
+        ],
+    )

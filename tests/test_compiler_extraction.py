@@ -1,0 +1,137 @@
+"""Stage extraction planning: depths, grouping, demotion, queues."""
+
+from repro.core.compiler.extraction import plan_extraction
+from repro.core.compiler.merging import group_by_depth
+from repro.core.compiler.pdg import build_pdg
+from repro.isa import Opcode, ProgramBuilder
+from tests.conftest import build_gather_program, build_stream_program
+
+
+def test_stream_plan_two_stages():
+    prog = build_stream_program(64, 64, 256)
+    plan = plan_extraction(build_pdg(prog))
+    assert plan.num_stages == 2
+    assert len(plan.loads) == 1
+    load_plan = plan.loads[0]
+    assert load_plan.depth == 1
+    assert load_plan.stage == 0
+    assert load_plan.consumer_stage == plan.compute_stage
+    assert load_plan.queue_id == 0
+
+
+def test_gather_plan_three_stages_with_chained_queues():
+    prog = build_gather_program(64, 64, 256, 512)
+    plan = plan_extraction(build_pdg(prog))
+    assert plan.num_stages == 3
+    depths = sorted(p.depth for p in plan.loads)
+    assert depths == [1, 2]
+    idx_plan = next(p for p in plan.loads if p.depth == 1)
+    data_plan = next(p for p in plan.loads if p.depth == 2)
+    assert idx_plan.consumer_stage == data_plan.stage
+    assert data_plan.consumer_stage == plan.compute_stage
+    assert idx_plan.queue_id != data_plan.queue_id
+
+
+def test_streaming_disabled_yields_single_stage():
+    prog = build_stream_program(64, 64, 256)
+    plan = plan_extraction(build_pdg(prog), enable_streaming=False)
+    assert plan.num_stages == 1
+    assert not plan.loads
+
+
+def test_max_stages_demotes_deepest_loads():
+    prog = build_gather_program(64, 64, 256, 512)
+    plan = plan_extraction(build_pdg(prog), max_stages=2)
+    # Only one memory stage allowed: the depth-2 load is demoted.
+    assert plan.num_stages == 2
+    assert all(p.depth == 1 for p in plan.loads)
+    assert plan.demoted
+
+
+def test_value_used_by_multiple_stages_demotes_load():
+    """A loaded value consumed by compute AND a deeper address chain."""
+    b = ProgramBuilder("multi")
+    i = b.mov(0)
+    b.label("loop")
+    pos = b.iadd(i, 64)
+    v1 = b.ldg(pos)               # consumed by addr of v2 AND by store
+    addr2 = b.iadd(v1, 512)
+    v2 = b.ldg(addr2)
+    total = b.fadd(v1, v2)
+    out = b.iadd(i, 1024)
+    b.stg(out, total)
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 8)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.exit()
+    prog = b.finish()
+    plan = plan_extraction(build_pdg(prog))
+    demoted_uids = {d.uid for d in plan.demoted}
+    planned_uids = {p.load.uid for p in plan.loads}
+    pdg = build_pdg(prog)
+    v1_load = pdg.global_loads()[0]
+    assert v1_load.uid in demoted_uids
+    assert v1_load.uid not in planned_uids
+
+
+def test_dead_load_not_extracted():
+    b = ProgramBuilder("dead")
+    b.ldg(b.mov(64))  # value never used
+    b.stg(b.mov(128), b.mov(1.0))
+    b.exit()
+    plan = plan_extraction(build_pdg(b.finish()))
+    assert plan.num_stages == 1
+
+
+def test_group_by_depth_orders_and_caps():
+    b = ProgramBuilder("g")
+    loads = []
+    base = b.mov(64)
+    prev = base
+    for _ in range(3):
+        v = b.ldg(prev)
+        loads.append(b.program.entry.instructions[-1])
+        prev = b.iadd(v, 8)
+    b.stg(b.mov(512), prev)
+    b.exit()
+    depths = {loads[0].uid: 1, loads[1].uid: 2, loads[2].uid: 3}
+    groups, demoted = group_by_depth(depths, loads, max_stages=3)
+    assert len(groups) == 2
+    assert groups[0] == [loads[0]]
+    assert groups[1] == [loads[1]]
+    assert demoted == [loads[2]]
+
+
+def test_tile_load_plan_has_no_queue():
+    b = ProgramBuilder("tile")
+    b.alloc_smem("buf", 32)
+    i = b.mov(0)
+    b.label("loop")
+    b.bar_sync("tb")
+    ga = b.iadd(i, 64)
+    b.ldgsts(ga, b.mov(0), buffer="buf")
+    b.bar_sync("tb")
+    v = b.lds(b.mov(0), buffer="buf")
+    b.stg(b.iadd(i, 512), v)
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 4)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.exit()
+    prog = b.finish()
+    plan = plan_extraction(build_pdg(prog))
+    tile_plans = [p for p in plan.loads if p.is_tile]
+    assert len(tile_plans) == 1
+    assert tile_plans[0].queue_id is None
+
+
+def test_stage_closures_cover_address_arithmetic():
+    prog = build_stream_program(64, 64, 256)
+    pdg = build_pdg(prog)
+    plan = plan_extraction(pdg)
+    assert len(plan.stage_closures) == 1
+    closure_ops = {
+        pdg.instr_by_uid[uid].opcode for uid in plan.stage_closures[0]
+    }
+    assert Opcode.IADD in closure_ops

@@ -1,0 +1,98 @@
+"""Finalization: combined program layout, spec population, error paths."""
+
+import pytest
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.core.compiler.finalize import _collect_queues, build_spec
+from repro.core.compiler.stagesplit import StageProgram
+from repro.errors import CompilerError
+from repro.isa import Instruction, Opcode, ProgramBuilder, QueueRef, Register
+from tests.conftest import build_stream_program, build_tile_program
+
+
+def _stage_program(name, instrs, stage, is_compute=False):
+    b = ProgramBuilder(name)
+    for instr in instrs:
+        b._emit(instr)
+    b.exit()
+    return StageProgram(
+        stage=stage, program=b.finish(), is_compute=is_compute
+    )
+
+
+def test_collect_queues_matches_push_pop_pairs():
+    producer = _stage_program(
+        "p",
+        [Instruction(Opcode.LDG, dst=QueueRef(0), srcs=[Register(0)])],
+        stage=0,
+    )
+    consumer = _stage_program(
+        "c",
+        [Instruction(Opcode.MOV, dst=Register(1), srcs=[QueueRef(0)])],
+        stage=1, is_compute=True,
+    )
+    queues = _collect_queues([producer, consumer], queue_size=16)
+    assert len(queues) == 1
+    assert queues[0].src_stage == 0 and queues[0].dst_stage == 1
+    assert queues[0].size == 16
+
+
+def test_unmatched_push_rejected():
+    producer = _stage_program(
+        "p",
+        [Instruction(Opcode.LDG, dst=QueueRef(0), srcs=[Register(0)])],
+        stage=0,
+    )
+    lonely = _stage_program("c", [], stage=1, is_compute=True)
+    with pytest.raises(CompilerError, match="never popped"):
+        _collect_queues([producer, lonely], queue_size=8)
+
+
+def test_unmatched_pop_rejected():
+    consumer = _stage_program(
+        "c",
+        [Instruction(Opcode.MOV, dst=Register(1), srcs=[QueueRef(3)])],
+        stage=1, is_compute=True,
+    )
+    other = _stage_program("p", [], stage=0)
+    with pytest.raises(CompilerError, match="never pushed"):
+        _collect_queues([other, consumer], queue_size=8)
+
+
+def test_build_spec_warps_and_registers():
+    producer = _stage_program("p", [], stage=0)
+    consumer = _stage_program("c", [], stage=1, is_compute=True)
+    spec = build_spec(
+        [producer, consumer], num_warps=3, queue_size=32,
+        stage_registers=[4, 9], smem_words=7,
+    )
+    assert spec.num_stages == 2
+    assert spec.warps_per_stage == [[0, 1, 2], [3, 4, 5]]
+    assert spec.stage_registers == [4, 9]
+    assert spec.smem_words == 7
+
+
+def test_combined_program_sections_in_stage_order(stream_setup=None):
+    program = build_stream_program(64, 64, 256)
+    result = WaspCompiler(
+        WaspCompilerOptions(enable_tma_offload=False)
+    ).compile(program, num_warps=2)
+    labels = [blk.label for blk in result.program.blocks]
+    jt = [l for l in labels if l.startswith("jump_table")]
+    s0 = [l for l in labels if l.startswith("s0_")]
+    s1 = [l for l in labels if l.startswith("s1_")]
+    assert jt and s0 and s1
+    assert labels.index(jt[0]) < labels.index(s0[0]) < labels.index(s1[0])
+
+
+def test_tile_spec_barrier_counts():
+    program = build_tile_program(4, 32, 64, 512, num_warps=2)
+    result = WaspCompiler(
+        WaspCompilerOptions(double_buffering=False)
+    ).compile(program, num_warps=2)
+    spec = result.program.tb_spec
+    # 2 stages x 2 warps: producers arrive 'filled' (2), consumers
+    # arrive 'empty' (2).
+    assert spec.barrier_expected["tile0_filled"] == 2
+    assert spec.barrier_expected["tile0_empty"] == 2
+    assert spec.barrier_initial == {}

@@ -1,0 +1,99 @@
+"""PDG construction: def-use edges, loop-carried dependences."""
+
+from repro.core.compiler.pdg import build_pdg
+from repro.isa import Opcode, ProgramBuilder
+
+
+def _simple():
+    b = ProgramBuilder("p")
+    a = b.mov(1)            # 0
+    c = b.iadd(a, 2)        # 1
+    d = b.imul(c, a)        # 2
+    b.stg(d, c)             # 3
+    b.exit()
+    return b.finish()
+
+
+def test_direct_def_use_edges():
+    prog = _simple()
+    pdg = build_pdg(prog)
+    instrs = list(prog.instructions())
+    mov, add, mul, stg = instrs[0], instrs[1], instrs[2], instrs[3]
+    assert add.uid in pdg.data_succs[mov.uid]
+    assert mul.uid in pdg.data_succs[mov.uid]  # a used twice
+    assert mul.uid in pdg.data_succs[add.uid]
+    assert stg.uid in pdg.data_succs[mul.uid]
+    assert stg.uid in pdg.data_succs[add.uid]
+
+
+def test_kill_cuts_stale_defs():
+    b = ProgramBuilder("p")
+    a = b.mov(1)          # def1
+    b.mov(2, dst=a)       # def2 kills def1
+    use = b.iadd(a, 0)    # uses def2 only
+    b.stg(use, use)
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    instrs = list(prog.instructions())
+    def1, def2, add = instrs[0], instrs[1], instrs[2]
+    assert add.uid in pdg.data_succs[def2.uid]
+    assert add.uid not in pdg.data_succs[def1.uid]
+
+
+def test_loop_carried_dependence():
+    b = ProgramBuilder("p")
+    i = b.mov(0)
+    b.label("loop")
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 4)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    update = prog.find_block("loop").instructions[0]
+    # The induction update reaches itself around the backedge.
+    assert update.uid in pdg.data_succs[update.uid]
+
+
+def test_predicate_edges():
+    b = ProgramBuilder("p")
+    i = b.mov(0)
+    b.label("loop")
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 4)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    setp = prog.find_block("loop").instructions[1]
+    branch = prog.find_block("loop").instructions[2]
+    assert branch.uid in pdg.data_succs[setp.uid]
+
+
+def test_global_loads_enumeration():
+    b = ProgramBuilder("p")
+    a = b.ldg(b.mov(64))
+    b.ldgsts(b.mov(64), b.mov(0))
+    b.stg(b.mov(128), a)
+    b.exit()
+    pdg = build_pdg(b.finish())
+    loads = pdg.global_loads()
+    assert [l.opcode for l in loads] == [Opcode.LDG, Opcode.LDGSTS]
+
+
+def test_consumers_of_load():
+    b = ProgramBuilder("p")
+    v = b.ldg(b.mov(64))
+    use1 = b.fadd(v, 1.0)
+    use2 = b.fmul(v, 2.0)
+    b.stg(b.mov(128), use1)
+    b.stg(b.mov(129), use2)
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    load = pdg.global_loads()[0]
+    consumers = pdg.consumers_of_load(load)
+    assert {c.opcode for c in consumers} == {Opcode.FADD, Opcode.FMUL}

@@ -1,0 +1,185 @@
+"""End-to-end compiler behaviour: the Figure 11/12/13 transformations
+plus functional equivalence of the specialized programs."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.fexec import LaunchConfig, run_kernel
+from repro.isa import Opcode, ProgramBuilder, QueueRef
+from repro.isa.operands import SpecialReg, SpecialRegister
+from tests.conftest import WIDTH
+
+
+def _specialized_launch(launch, result):
+    from dataclasses import replace
+
+    return replace(launch, num_warps=launch.num_warps * result.num_stages)
+
+
+def _equivalent(setup, options=None, output="out"):
+    program, image_factory, launch, expected = setup
+    compiler = WaspCompiler(options or WaspCompilerOptions())
+    result = compiler.compile(program, num_warps=launch.num_warps)
+    assert result.specialized
+    img = image_factory()
+    run_kernel(result.program, img, _specialized_launch(launch, result))
+    assert np.allclose(img.read_array(output), expected)
+    return result
+
+
+def test_stream_specialization_figure11(stream_setup):
+    result = _equivalent(stream_setup, output="o")
+    assert result.num_stages == 2
+    spec = result.program.tb_spec
+    assert len(spec.queues) == 1
+    queue = spec.queues[0]
+    assert (queue.src_stage, queue.dst_stage) == (0, 1)
+
+
+def test_gather_specialization_figure12(gather_setup):
+    result = _equivalent(
+        gather_setup, WaspCompilerOptions(enable_tma_offload=False)
+    )
+    assert result.num_stages == 3
+    spec = result.program.tb_spec
+    pairs = {(q.src_stage, q.dst_stage) for q in spec.queues}
+    assert pairs == {(0, 1), (1, 2)}
+
+
+def test_gather_tma_fusion_figure8c(gather_setup):
+    result = _equivalent(gather_setup)
+    assert result.offload is not None and result.offload.gathers == 1
+    assert result.dropped_stages == 1
+    assert result.num_stages == 2
+    opcodes = {i.opcode for i in result.program.instructions()}
+    assert Opcode.TMA_GATHER in opcodes
+    assert Opcode.LDG not in opcodes
+
+
+def test_tile_specialization_figure13(tile_setup):
+    result = _equivalent(
+        tile_setup, WaspCompilerOptions(double_buffering=False)
+    )
+    assert result.num_stages == 2
+    assert result.fused_ldgsts == 0  # builder emits LDGSTS directly
+    opcodes = [i.opcode for i in result.program.instructions()]
+    assert Opcode.BAR_ARRIVE in opcodes and Opcode.BAR_WAIT in opcodes
+    assert Opcode.BAR_SYNC not in opcodes
+
+
+def test_tile_double_buffering_figure10(tile_setup):
+    result = _equivalent(tile_setup)
+    assert result.double_buffered == ["tile0"]
+    spec = result.program.tb_spec
+    assert "tile0_A_filled" in spec.barrier_expected
+    assert "tile0_B_filled" in spec.barrier_expected
+    assert spec.barrier_initial.get("tile0_A_empty", 0) > 0
+    program, image_factory, launch, expected = tile_setup
+    assert result.program.smem_words == 2 * program.smem_words
+
+
+def test_jump_table_dispatches_on_pipe_stage(stream_setup):
+    program, _, launch, _ = stream_setup
+    result = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    first_block = result.program.blocks[0]
+    assert first_block.label.startswith("jump_table")
+    setp = first_block.instructions[0]
+    assert setp.opcode is Opcode.ISETP
+    assert SpecialRegister(SpecialReg.PIPE_STAGE_ID) in setp.srcs
+
+
+def test_special_register_rewrite(stream_setup):
+    program, _, launch, _ = stream_setup
+    result = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    specials = {
+        src.which
+        for instr in result.program.instructions()
+        for src in instr.srcs
+        if isinstance(src, SpecialRegister)
+    }
+    assert SpecialReg.WARP_ID not in specials
+    assert SpecialReg.NUM_WARPS not in specials
+    assert SpecialReg.STAGE_WARP_ID in specials
+
+
+def test_stage_registers_compacted(stream_setup):
+    program, _, launch, _ = stream_setup
+    # Without TMA offload (which synthesizes count arithmetic) no stage
+    # can need more registers than the original program.
+    result = WaspCompiler(
+        WaspCompilerOptions(enable_tma_offload=False)
+    ).compile(program, num_warps=launch.num_warps)
+    assert result.specialized
+    assert all(r >= 1 for r in result.stage_registers)
+    assert max(result.stage_registers) <= program.register_count()
+
+
+def test_unspecializable_kernel_returns_original():
+    b = ProgramBuilder("pure_compute")
+    r = b.mov(1.0)
+    for _ in range(4):
+        r = b.ffma(r, 2.0, 1.0)
+    b.stg(b.mov(64), r)
+    b.exit()
+    prog = b.finish()
+    result = WaspCompiler().compile(prog, num_warps=2)
+    assert not result.specialized
+    assert result.program is prog
+    assert result.reason
+
+
+def test_compile_does_not_mutate_input(stream_setup):
+    program, _, launch, _ = stream_setup
+    before = program.to_text()
+    WaspCompiler().compile(program, num_warps=launch.num_warps)
+    assert program.to_text() == before
+
+
+def test_queue_size_option_propagates(stream_setup):
+    program, _, launch, _ = stream_setup
+    result = WaspCompiler(WaspCompilerOptions(queue_size=8)).compile(
+        program, num_warps=launch.num_warps
+    )
+    assert all(q.size == 8 for q in result.program.tb_spec.queues)
+
+
+def test_stream_tma_offload_removes_producer_loop(stream_setup):
+    program, image_factory, launch, expected = stream_setup
+    result = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    assert result.offload is not None and result.offload.streams == 1
+    opcodes = [i.opcode for i in result.program.instructions()]
+    assert Opcode.TMA_STREAM in opcodes
+    # Producer stage must contain no LDG anymore.
+    producer_section = [
+        i
+        for blk in result.program.blocks
+        if blk.label.startswith("s0_")
+        for i in blk.instructions
+    ]
+    assert all(i.opcode is not Opcode.LDG for i in producer_section)
+    img = image_factory()
+    run_kernel(result.program, img, _specialized_launch(launch, result))
+    assert np.allclose(img.read_array("o"), expected)
+
+
+def test_every_queue_pushed_and_popped_once_per_element(gather_setup):
+    program, image_factory, launch, _ = gather_setup
+    result = WaspCompiler(
+        WaspCompilerOptions(enable_tma_offload=False)
+    ).compile(program, num_warps=launch.num_warps)
+    img = image_factory()
+    exec_result = run_kernel(
+        result.program, img, _specialized_launch(launch, result)
+    )
+    trace = exec_result.traces[0]
+    pushes = {qid: 0 for qid in trace.queue_lengths}
+    pops = {qid: 0 for qid in trace.queue_lengths}
+    for warp in trace.warps:
+        for instr in warp.instrs:
+            if instr.queue_push is not None:
+                pushes[instr.queue_push] += 1
+            if instr.queue_pop is not None:
+                pops[instr.queue_pop] += 1
+    assert pushes == pops
+    assert all(count > 0 for count in pushes.values())

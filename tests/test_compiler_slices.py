@@ -1,0 +1,130 @@
+"""Backslices, eligibility and the control skeleton (Figure 9 logic)."""
+
+from repro.core.compiler.backslice import address_backslice, full_backslice
+from repro.core.compiler.eligibility import Ineligibility, classify_loads
+from repro.core.compiler.pdg import build_pdg
+from repro.core.compiler.skeleton import compute_skeleton
+from repro.isa import Opcode, ProgramBuilder
+
+
+def test_address_backslice_stops_at_upstream_load():
+    """Figure 9: the backslice of LDG B terminates at LDG A."""
+    b = ProgramBuilder("p")
+    base = b.mov(64)
+    a = b.ldg(base)            # LDG A
+    shifted = b.iadd(a, 128)   # addr arithmetic fed by A
+    scaled = b.imul(shifted, 1)
+    v = b.ldg(scaled)          # LDG B
+    b.stg(b.mov(256), v)
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    ldg_b = pdg.global_loads()[1]
+    back = address_backslice(pdg, ldg_b)
+    opcodes = sorted(i.opcode.value for i in back.instructions)
+    assert opcodes == ["IADD", "IMUL"]
+    assert {i.opcode for i in back.boundary_loads} == {Opcode.LDG}
+    assert len(back.boundary_loads) == 1
+
+
+def test_full_backslice_traverses_through_loads():
+    b = ProgramBuilder("p")
+    base = b.mov(64)
+    a = b.ldg(base)
+    addr = b.iadd(a, 128)
+    v = b.ldg(addr)
+    b.stg(b.mov(256), v)
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    ldg_b = pdg.global_loads()[1]
+    back = full_backslice(pdg, ldg_b)
+    assert any(i.opcode is Opcode.MOV for i in back)  # reached base
+
+
+def test_lds_in_backslice_is_ineligible():
+    b = ProgramBuilder("p")
+    b.alloc_smem("buf", 8)
+    s = b.lds(b.mov(0))
+    addr = b.iadd(s, 64)
+    b.stg(b.mov(128), b.ldg(addr))
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    report = classify_loads(pdg, compute_skeleton(pdg))
+    load = pdg.global_loads()[0]
+    assert report.reason_for(load) is Ineligibility.LDS_IN_BACKSLICE
+
+
+def test_pointer_chase_self_cycle_is_ineligible():
+    b = ProgramBuilder("p")
+    ptr = b.mov(64)
+    b.label("chase")
+    b.ldg(ptr, dst=ptr)   # ptr = mem[ptr]
+    i = b.reg()
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 4)
+    b.bra("chase", guard=p)
+    b.label("end")
+    b.stg(b.mov(128), ptr)
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    report = classify_loads(pdg, compute_skeleton(pdg))
+    load = pdg.global_loads()[0]
+    assert report.reason_for(load) is Ineligibility.SELF_CYCLE
+
+
+def test_load_feeding_control_is_ineligible():
+    """Data-dependent trip counts (CSR row pointers) stay replicated."""
+    b = ProgramBuilder("p")
+    bound = b.ldg(b.mov(64))
+    i = b.mov(0)
+    b.label("loop")
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, bound)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.stg(b.mov(128), i)
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    skeleton = compute_skeleton(pdg)
+    load = pdg.global_loads()[0]
+    assert load.uid in skeleton
+    report = classify_loads(pdg, skeleton)
+    assert report.reason_for(load) is Ineligibility.FEEDS_CONTROL
+
+
+def test_skeleton_contains_branches_and_their_backslices():
+    b = ProgramBuilder("p")
+    i = b.mov(0)
+    b.label("loop")
+    b.ldg(b.iadd(i, 64))  # not part of control
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 4)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    skeleton = compute_skeleton(pdg)
+    opcode_of = {i.uid: i.opcode for i in prog.instructions()}
+    skeleton_ops = {opcode_of[uid] for uid in skeleton}
+    assert Opcode.BRA in skeleton_ops
+    assert Opcode.ISETP in skeleton_ops
+    assert Opcode.IADD in skeleton_ops   # induction update
+    assert Opcode.MOV in skeleton_ops    # i = 0
+    assert Opcode.LDG not in skeleton_ops
+    assert Opcode.EXIT in skeleton_ops
+
+
+def test_bar_sync_in_skeleton():
+    b = ProgramBuilder("p")
+    b.bar_sync("tb")
+    b.exit()
+    prog = b.finish()
+    pdg = build_pdg(prog)
+    skeleton = compute_skeleton(pdg)
+    sync = prog.entry.instructions[0]
+    assert sync.uid in skeleton

@@ -1,0 +1,120 @@
+"""Stage splitting details: DCE, rewrites, barrier placement."""
+
+from repro.core.compiler.extraction import plan_extraction
+from repro.core.compiler.pdg import build_pdg
+from repro.core.compiler.stagesplit import (
+    build_stage_programs,
+    partner_tile_key,
+    tag_keys,
+)
+from repro.isa import Opcode, ProgramBuilder, QueueRef
+from tests.conftest import build_gather_program, build_stream_program
+
+
+def _split(program):
+    work = program.clone()
+    plan = plan_extraction(build_pdg(work))
+    tag_keys(work)
+    return build_stage_programs(work, plan), plan
+
+
+def test_partner_tile_key():
+    assert partner_tile_key("tile0_A") == "tile0_B"
+    assert partner_tile_key("tile0_B") == "tile0_A"
+    assert partner_tile_key("tile0") == "tile0"
+
+
+def test_stream_split_producer_has_no_stores():
+    stages, _ = _split(build_stream_program(64, 64, 256))
+    producer = stages[0].program
+    opcodes = [i.opcode for i in producer.instructions()]
+    assert Opcode.STG not in opcodes
+    assert Opcode.LDG in opcodes
+    # The producer's LDG pushes into a queue.
+    load = next(i for i in producer.instructions()
+                if i.opcode is Opcode.LDG)
+    assert isinstance(load.dst, QueueRef)
+
+
+def test_stream_split_consumer_pops_instead_of_loading():
+    stages, _ = _split(build_stream_program(64, 64, 256))
+    consumer = stages[-1].program
+    opcodes = [i.opcode for i in consumer.instructions()]
+    assert Opcode.LDG not in opcodes
+    assert Opcode.STG in opcodes
+    pops = [i for i in consumer.instructions() if i.queue_pops()]
+    assert len(pops) == 1
+
+
+def test_dce_removes_dead_address_arithmetic_from_consumer():
+    """The consumer must not recompute the producer's load address."""
+    stages, _ = _split(build_stream_program(64, 64, 256))
+    producer = stages[0].program
+    consumer = stages[-1].program
+    # Producer: entry setup + loop {2 IADDs + LDG + induction + cmp +
+    # branch}.  Consumer drops the load-address IADD chain.
+    producer_adds = sum(
+        1 for i in producer.instructions() if i.opcode is Opcode.IADD
+    )
+    consumer_adds = sum(
+        1 for i in consumer.instructions() if i.opcode is Opcode.IADD
+    )
+    assert consumer_adds <= producer_adds
+
+
+def test_control_skeleton_replicated_in_every_stage():
+    stages, _ = _split(build_gather_program(64, 64, 256, 512))
+    assert len(stages) == 3
+    for stage in stages:
+        opcodes = [i.opcode for i in stage.program.instructions()]
+        assert Opcode.BRA in opcodes
+        assert Opcode.ISETP in opcodes
+        assert Opcode.EXIT in opcodes
+
+
+def test_middle_stage_pops_and_pushes():
+    stages, _ = _split(build_gather_program(64, 64, 256, 512))
+    middle = stages[1]
+    assert middle.queue_pops and middle.queue_pushes
+    assert middle.queue_pops != middle.queue_pushes
+
+
+def test_queue_pop_guard_matches_original_load():
+    """A guarded load's pop must carry the same guard."""
+    b = ProgramBuilder("guarded")
+    i = b.mov(0)
+    b.label("loop")
+    p_active = b.isetp("lt", i, 4)
+    addr = b.iadd(i, 64)
+    v = b.reg()
+    b.emit(Opcode.LDG, dst=v, srcs=[addr], guard=p_active)
+    out = b.iadd(i, 512)
+    b.emit(Opcode.STG, srcs=[out, v], guard=p_active)
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 8)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.exit()
+    prog = b.finish()
+    stages, plan = _split(prog)
+    if len(stages) < 2:
+        return  # guard analysis may demote; nothing to check
+    consumer = stages[-1].program
+    pops = [i for i in consumer.instructions() if i.queue_pops()]
+    producer_loads = [
+        i for i in stages[0].program.instructions()
+        if i.opcode is Opcode.LDG
+    ]
+    assert pops and producer_loads
+    assert pops[0].guard is not None
+    assert producer_loads[0].guard is not None
+
+
+def test_stage_programs_validate():
+    for setup in (
+        build_stream_program(64, 64, 256),
+        build_gather_program(64, 64, 256, 512),
+    ):
+        stages, _ = _split(setup)
+        for stage in stages:
+            stage.program.validate()

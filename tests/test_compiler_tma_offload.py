@@ -1,0 +1,125 @@
+"""WASP-TMA offload pass: affine matching and conservative rejections."""
+
+from repro.core.compiler.extraction import plan_extraction
+from repro.core.compiler.pdg import build_pdg
+from repro.core.compiler.stagesplit import build_stage_programs, tag_keys
+from repro.core.compiler.tma_offload import offload_pipeline
+from repro.isa import Opcode, ProgramBuilder, SpecialReg
+from tests.conftest import build_gather_program, build_stream_program
+
+
+def _offload(program):
+    work = program.clone()
+    plan = plan_extraction(build_pdg(work))
+    tag_keys(work)
+    stages = build_stage_programs(work, plan)
+    report = offload_pipeline(stages)
+    return stages, report
+
+
+def test_stream_loop_offloaded():
+    stages, report = _offload(build_stream_program(64, 64, 256))
+    assert report.streams == 1
+    producer_ops = {i.opcode for i in stages[0].program.instructions()}
+    assert Opcode.TMA_STREAM in producer_ops
+    assert Opcode.BRA not in {
+        i.opcode
+        for blk in stages[0].program.blocks
+        if blk.label == "loop"
+        for i in blk.instructions
+    }
+
+
+def test_gather_pair_fused():
+    stages, report = _offload(build_gather_program(64, 64, 256, 512))
+    assert report.gathers == 1
+    assert report.streams == 0
+    producer_ops = {i.opcode for i in stages[0].program.instructions()}
+    assert Opcode.TMA_GATHER in producer_ops
+    # The middle stage's loop was emptied.
+    middle_ops = [
+        i.opcode for i in stages[1].program.instructions()
+        if i.opcode is Opcode.LDG
+    ]
+    assert not middle_ops
+
+
+def _custom_stream(body_extra=None, step_reg=False):
+    """A producer-shaped loop with optional pattern-breaking tweaks."""
+    b = ProgramBuilder("c")
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    nw = b.special(SpecialReg.NUM_WARPS)
+    i = b.mov(0)
+    tid = b.imad(wid, 8, lane)
+    stride = b.imul(nw, 8)
+    b.label("loop")
+    pos = b.iadd(tid, i)
+    addr = b.iadd(pos, 64)
+    v = b.ldg(addr)
+    if body_extra == "second_load":
+        v2 = b.ldg(b.iadd(addr, 4096))
+        v = b.fadd(v, v2)
+    out = b.iadd(pos, 512)
+    b.stg(out, v)
+    b.iadd(i, stride, dst=i)
+    p = b.isetp("lt", i, 32)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.exit()
+    return b.finish()
+
+
+def test_nonaffine_address_keeps_software_loop():
+    """A squared index (i*i) defeats the linear model."""
+    b = ProgramBuilder("sq")
+    i = b.mov(1)
+    b.label("loop")
+    sq = b.imul(i, i)            # non-linear in the induction variable
+    addr = b.iadd(sq, 64)
+    v = b.ldg(addr)
+    out = b.iadd(i, 512)
+    b.stg(out, v)
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 8)
+    b.bra("loop", guard=p)
+    b.label("end")
+    b.exit()
+    prog = b.finish()
+    stages, report = _offload(prog)
+    assert report.streams == 0
+    producer_ops = {i.opcode for i in stages[0].program.instructions()}
+    assert Opcode.TMA_STREAM not in producer_ops
+    assert Opcode.LDG in producer_ops
+
+
+def test_offloaded_trip_count_arithmetic_present():
+    stages, report = _offload(build_stream_program(64, 64, 256))
+    assert report.streams == 1
+    producer_ops = [i.opcode for i in stages[0].program.instructions()]
+    assert Opcode.IDIV in producer_ops  # ceil-div trip count
+    assert Opcode.MAX in producer_ops   # do-while executes at least once
+
+
+def test_two_loads_same_loop_not_stream_offloaded():
+    """The single-load loop pattern is required; extra loads abort."""
+    prog = _custom_stream(body_extra="second_load")
+    work = prog.clone()
+    plan = plan_extraction(build_pdg(work))
+    tag_keys(work)
+    stages = build_stage_programs(work, plan)
+    report = offload_pipeline(stages)
+    # Both loads share the producer stage, so the loop has two LDGs and
+    # cannot become one TMA.STREAM.
+    assert report.streams == 0
+
+
+def test_offload_report_counts_consistent():
+    stages, report = _offload(build_gather_program(64, 64, 256, 512))
+    tma_instrs = [
+        i
+        for sp in stages
+        for i in sp.program.instructions()
+        if i.opcode in (Opcode.TMA_STREAM, Opcode.TMA_GATHER)
+    ]
+    assert len(tma_instrs) == report.streams + report.gathers

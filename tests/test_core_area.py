@@ -1,0 +1,55 @@
+"""Table IV area model."""
+
+import pytest
+
+from repro.core.area import AreaParameters, compute_area
+
+
+def test_default_breakdown_matches_table_iv_structure():
+    area = compute_area()
+    rows = area.rows()
+    names = [name for name, _, _ in rows]
+    assert names == [
+        "Warp Mapper", "Warp Scheduler", "RFQ Metadata", "WASP-TMA",
+        "Total",
+    ]
+    total = rows[-1][1]
+    assert total == pytest.approx(sum(r[1] for r in rows[:-1]))
+
+
+def test_warp_mapper_matches_paper():
+    # 32 CTAs x 132 bits = 528 B/SM ~ 55.7 KB per GPU (paper: ~56 KB).
+    area = compute_area()
+    assert area.warp_mapper_bytes_per_sm == pytest.approx(528.0)
+    assert area.per_gpu_kb("warp_mapper") == pytest.approx(55.7, abs=0.1)
+
+
+def test_rfq_metadata_matches_paper():
+    # 64 warps x 4 x 9 bits = 288 B/SM ~ 30.4 KB per GPU (paper: ~30 KB).
+    area = compute_area()
+    assert area.per_gpu_kb("rfq_metadata") == pytest.approx(30.4, abs=0.1)
+
+
+def test_wasp_tma_matches_paper():
+    # 2 x 128 B = 256 B/SM = 27 KB per GPU (paper: ~27 KB).
+    area = compute_area()
+    assert area.per_gpu_kb("wasp_tma") == pytest.approx(27.0, abs=0.1)
+
+
+def test_total_under_one_percent_proxy():
+    """The paper bounds total extra storage well below L2 capacity."""
+    area = compute_area()
+    total_kb = area.per_gpu_kb("total")
+    assert total_kb < 200  # paper: < 162 KB + margin
+
+
+def test_scaling_with_parameters():
+    small = compute_area(AreaParameters(num_sms=54))
+    big = compute_area(AreaParameters(num_sms=108))
+    assert big.per_gpu_kb("total") == pytest.approx(
+        2 * small.per_gpu_kb("total")
+    )
+    wide = compute_area(AreaParameters(warps_per_sm=128))
+    assert wide.rfq_metadata_bytes_per_sm == pytest.approx(
+        2 * compute_area().rfq_metadata_bytes_per_sm
+    )

@@ -1,0 +1,123 @@
+"""Warp mapping (Figure 5) and scheduling priority keys (III-D)."""
+
+from repro.core.mapping import (
+    group_pipeline_mapping,
+    map_warps,
+    register_footprint,
+    rfq_register_words,
+    round_robin_mapping,
+)
+from repro.core.scheduling import WarpSchedState, priority_key
+from repro.core.specs import NamedQueueSpec, ThreadBlockSpec
+from repro.sim.config import SchedulingPolicy
+
+
+def _two_stage_spec():
+    """Figure 5's setup: two stages with four warps each."""
+    return ThreadBlockSpec(
+        num_stages=2,
+        warps_per_stage=[[0, 1, 2, 3], [4, 5, 6, 7]],
+        stage_registers=[8, 16],
+        queues=[NamedQueueSpec(0, 0, 1)],
+    )
+
+
+def test_round_robin_separates_stages():
+    """Round-robin lands same-stage warps on the same blocks (the bad
+    case in Figure 5): stage 0 = warps 0..3 -> blocks 0..3, stage 1 =
+    warps 4..7 -> blocks 0..3 again, so each block holds one warp of
+    each stage only by accident of the warp order.  With the paper's
+    interleaved warp numbering (stage-major), blocks get imbalanced."""
+    mapping = round_robin_mapping(8, 4)
+    assert mapping == {0: 0, 1: 1, 2: 2, 3: 3, 4: 0, 5: 1, 6: 2, 7: 3}
+
+
+def test_group_pipeline_colocates_slices():
+    spec = _two_stage_spec()
+    mapping = group_pipeline_mapping(spec, 4)
+    # Slice k = (warp k of stage 0, warp k of stage 1) on one block.
+    for k in range(4):
+        assert mapping[k] == mapping[k + 4] == k % 4
+
+
+def test_group_pipeline_balances_blocks():
+    spec = _two_stage_spec()
+    mapping = group_pipeline_mapping(spec, 4)
+    loads = [0] * 4
+    for block in mapping.values():
+        loads[block] += 1
+    assert loads == [2, 2, 2, 2]
+
+
+def test_map_warps_falls_back_without_spec():
+    assert map_warps(None, 4, 2, use_group_pipeline=True) == \
+        round_robin_mapping(4, 2)
+
+
+def test_register_footprint_modes():
+    spec = _two_stage_spec()
+    plain = register_footprint(None, 4, 20, 32, per_stage=False)
+    assert plain == 20 * 32 * 4
+    uniform = register_footprint(spec, 8, 16, 32, per_stage=False)
+    per_stage = register_footprint(spec, 8, 16, 32, per_stage=True)
+    assert per_stage < uniform
+
+
+def test_rfq_register_words():
+    spec = _two_stage_spec()
+    # 1 queue x 4 slices x 32 entries x 32 lanes.
+    assert rfq_register_words(spec, 32, 32) == 4 * 32 * 32
+    assert rfq_register_words(None, 32, 32) == 0
+
+
+def _state(stage, incoming=False, full=False, age=0, key=0):
+    return WarpSchedState(
+        warp_key=key, pipe_stage_id=stage, incoming_ready=incoming,
+        incoming_full=full, last_issued=0.0, age=age,
+    )
+
+
+def test_gto_prefers_greedy_then_oldest():
+    older = _state(0, age=0, key=1)
+    younger = _state(0, age=1, key=2)
+    assert priority_key(SchedulingPolicy.GTO, older, None) < \
+        priority_key(SchedulingPolicy.GTO, younger, None)
+    # Greedy warp wins even if younger.
+    assert priority_key(SchedulingPolicy.GTO, younger, 2) < \
+        priority_key(SchedulingPolicy.GTO, older, 2)
+
+
+def test_producer_first_prefers_earlier_stage():
+    early = _state(0, age=5, key=1)
+    late = _state(2, age=0, key=2)
+    assert priority_key(SchedulingPolicy.PRODUCER_FIRST, early, None) < \
+        priority_key(SchedulingPolicy.PRODUCER_FIRST, late, None)
+
+
+def test_consumer_first_prefers_later_stage():
+    early = _state(0, key=1)
+    late = _state(2, key=2)
+    assert priority_key(SchedulingPolicy.CONSUMER_FIRST, late, None) < \
+        priority_key(SchedulingPolicy.CONSUMER_FIRST, early, None)
+
+
+def test_full_ready_producer_priority_order():
+    policy = SchedulingPolicy.FULL_READY_PRODUCER
+    full = _state(3, full=True, key=1)
+    ready = _state(3, incoming=True, key=2)
+    early = _state(0, key=3)
+    keys = sorted(
+        [(priority_key(policy, s, None), s.warp_key)
+         for s in (early, ready, full)]
+    )
+    # Full incoming queues first (drain!), then ready data, then
+    # earlier stages.
+    assert [k for _, k in keys] == [1, 2, 3]
+
+
+def test_lrr_rotates_by_last_issue_time():
+    a = _state(0, key=1)
+    b = _state(0, key=2)
+    a.last_issued, b.last_issued = 10.0, 5.0
+    assert priority_key(SchedulingPolicy.LRR, b, None) < \
+        priority_key(SchedulingPolicy.LRR, a, None)

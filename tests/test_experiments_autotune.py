@@ -1,0 +1,23 @@
+"""Per-kernel RFQ auto-tuning extension."""
+
+import pytest
+
+from repro.experiments import autotune
+
+
+def test_autotune_never_below_fixed():
+    result = autotune.run(
+        scale=0.25, benchmarks=["pointnet", "spmv2_web"], sizes=(8, 32)
+    )
+    assert result.rows
+    for row in result.rows:
+        assert row.tuned_speedup >= row.fixed_speedup - 1e-9
+        assert row.best_size in (8, 32)
+    assert result.mean_gain() >= 1.0 - 1e-9
+
+
+def test_autotune_report_renders():
+    result = autotune.run(scale=0.25, benchmarks=["pointnet"], sizes=(8, 32))
+    text = result.to_text()
+    assert "auto-tuning" in text
+    assert "MEAN GAIN" in text

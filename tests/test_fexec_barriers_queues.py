@@ -1,0 +1,63 @@
+"""Functional barrier and queue primitives (unit level)."""
+
+import numpy as np
+
+from repro.fexec.barriers import ArriveWaitBarrier, SyncBarrier
+from repro.fexec.queues import FunctionalQueue
+
+
+def test_functional_queue_fifo_and_counters():
+    queue = FunctionalQueue(0)
+    queue.push(np.array([1.0]))
+    queue.push(np.array([2.0]))
+    assert queue.can_pop()
+    assert queue.pop()[0] == 1.0
+    assert queue.pop()[0] == 2.0
+    assert not queue.can_pop()
+    assert queue.total_pushed == 2
+    assert queue.total_popped == 2
+    assert len(queue) == 0
+
+
+def test_arrive_wait_generations():
+    barrier = ArriveWaitBarrier("b", expected=2)
+    assert not barrier.can_pass(0)
+    barrier.arrive()
+    barrier.arrive()
+    assert barrier.can_pass(0)
+    barrier.wait(0)
+    assert not barrier.can_pass(0)   # next generation needs 2 more
+    assert barrier.can_pass(1)       # other warp's first wait still ok
+    barrier.arrive()
+    barrier.arrive()
+    assert barrier.can_pass(0)
+
+
+def test_arrive_wait_initial_credit_self_starts():
+    barrier = ArriveWaitBarrier("b", expected=3, initial_credit=3)
+    assert barrier.can_pass(0)
+    barrier.wait(0)
+    assert not barrier.can_pass(0)
+
+
+def test_sync_barrier_phases():
+    barrier = SyncBarrier("tb", num_warps=2)
+    barrier.mark_arrived(0)
+    assert not barrier.can_pass(0)
+    barrier.mark_arrived(1)
+    assert barrier.can_pass(0) and barrier.can_pass(1)
+    barrier.passed(0)
+    barrier.passed(1)
+    # Phase 2 starts empty.
+    assert not barrier.can_pass(0)
+    barrier.mark_arrived(0)
+    barrier.mark_arrived(0)  # idempotent within a phase
+    assert not barrier.can_pass(0)
+    barrier.mark_arrived(1)
+    assert barrier.can_pass(0)
+
+
+def test_sync_barrier_single_warp_trivially_passes():
+    barrier = SyncBarrier("tb", num_warps=1)
+    barrier.mark_arrived(0)
+    assert barrier.can_pass(0)

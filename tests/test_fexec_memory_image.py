@@ -1,0 +1,78 @@
+"""MemoryImage allocation, access and sector math."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.fexec import MemoryImage
+from repro.fexec.memory_image import WORDS_PER_SECTOR, sectors_of
+
+
+def test_alloc_returns_aligned_disjoint_bases():
+    img = MemoryImage(1 << 12)
+    a = img.alloc("a", 100)
+    b = img.alloc("b", 50)
+    assert a % WORDS_PER_SECTOR == 0
+    assert b % WORDS_PER_SECTOR == 0
+    assert b >= a + 100
+
+
+def test_alloc_duplicate_name_rejected():
+    img = MemoryImage(1 << 10)
+    img.alloc("a", 8)
+    with pytest.raises(ExecutionError):
+        img.alloc("a", 8)
+
+
+def test_alloc_out_of_memory():
+    img = MemoryImage(256)
+    with pytest.raises(ExecutionError):
+        img.alloc("big", 10_000)
+
+
+def test_write_and_read_array_roundtrip():
+    img = MemoryImage(1 << 10)
+    img.alloc("a", 16)
+    data = np.arange(16, dtype=float)
+    img.write_array("a", data)
+    assert np.array_equal(img.read_array("a"), data)
+
+
+def test_write_array_overflow_rejected():
+    img = MemoryImage(1 << 10)
+    img.alloc("a", 4)
+    with pytest.raises(ExecutionError):
+        img.write_array("a", np.zeros(5))
+
+
+def test_vector_load_store():
+    img = MemoryImage(1 << 10)
+    base = img.alloc("a", 32)
+    addrs = np.arange(base, base + 8)
+    img.store(addrs, np.arange(8, dtype=float))
+    assert np.array_equal(img.load(addrs), np.arange(8, dtype=float))
+
+
+def test_load_out_of_bounds_rejected():
+    img = MemoryImage(64)
+    with pytest.raises(ExecutionError):
+        img.load(np.array([1 << 20]))
+
+
+def test_clone_is_deep():
+    img = MemoryImage(1 << 10)
+    base = img.alloc("a", 8)
+    img.store(np.array([base]), np.array([1.0]))
+    copy = img.clone()
+    copy.store(np.array([base]), np.array([2.0]))
+    assert img.load(np.array([base]))[0] == 1.0
+    assert copy.base("a") == base
+
+
+def test_sectors_of_coalescing():
+    # 16 consecutive words starting at a sector boundary = 2 sectors.
+    assert len(sectors_of(np.arange(0, 16))) == 2
+    # Same sector touched by every lane = 1 transaction.
+    assert len(sectors_of(np.zeros(32, dtype=np.int64))) == 1
+    # Stride-8 words hit one sector each.
+    assert len(sectors_of(np.arange(0, 256, 8))) == 32

@@ -1,0 +1,72 @@
+"""Whole-suite integration: every benchmark's kernels compile and the
+specialized pipelines are functionally equivalent to the originals."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.fexec import run_kernel
+from repro.workloads import all_benchmarks, get_benchmark
+
+SCALE = 0.25
+_OPTIONS = [
+    WaspCompilerOptions(),                          # full WASP
+    WaspCompilerOptions(enable_tma_offload=False),  # software queues
+    WaspCompilerOptions(enable_streaming=False,
+                        enable_tma_offload=False),  # tile only
+]
+
+
+def _output_arrays(image):
+    return [
+        name for name in image.array_names()
+        if name in ("out", "y", "c", "cdense", "c_out", "counts")
+    ]
+
+
+@pytest.mark.parametrize("name", all_benchmarks())
+def test_benchmark_kernels_equivalent_under_specialization(name):
+    benchmark = get_benchmark(name, SCALE)
+    for kernel in benchmark.kernels:
+        reference = kernel.image_factory()
+        run_kernel(kernel.program, reference, kernel.launch)
+        outputs = _output_arrays(reference)
+        assert outputs, f"{name}/{kernel.name} has no output array"
+        for options in _OPTIONS:
+            compiled = WaspCompiler(options).compile(
+                kernel.program, num_warps=kernel.launch.num_warps
+            )
+            if not compiled.specialized:
+                continue
+            img = kernel.image_factory()
+            launch = replace(
+                kernel.launch,
+                num_warps=kernel.launch.num_warps * compiled.num_stages,
+            )
+            run_kernel(compiled.program, img, launch)
+            for array in outputs:
+                assert np.allclose(
+                    reference.read_array(array), img.read_array(array)
+                ), f"{name}/{kernel.name}: {array} diverged ({options})"
+
+
+@pytest.mark.parametrize("name", all_benchmarks())
+def test_benchmark_kernels_specialize_where_expected(name):
+    """Every benchmark must expose at least one specializable kernel —
+    Table II's premise is that all twenty benefit from warp
+    specialization."""
+    benchmark = get_benchmark(name, SCALE)
+    compiler = WaspCompiler()
+    specialized = 0
+    for kernel in benchmark.kernels:
+        result = compiler.compile(
+            kernel.program, num_warps=kernel.launch.num_warps
+        )
+        if result.specialized:
+            specialized += 1
+            assert result.num_stages >= 2
+            spec = result.program.tb_spec
+            assert spec.num_stages == result.num_stages
+    assert specialized >= 1

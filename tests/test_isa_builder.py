@@ -1,0 +1,111 @@
+"""ProgramBuilder DSL behaviour."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import Opcode, ProgramBuilder, QueueRef, Register
+
+
+def test_fresh_registers_are_distinct():
+    b = ProgramBuilder("p")
+    assert b.reg() != b.reg()
+    assert b.pred() != b.pred()
+
+
+def test_binops_emit_and_return_destination():
+    b = ProgramBuilder("p")
+    r = b.iadd(1, 2)
+    b.exit()
+    prog = b.finish()
+    instr = prog.entry.instructions[0]
+    assert instr.opcode is Opcode.IADD
+    assert instr.dst == r
+
+
+def test_immediates_coerced_from_python_numbers():
+    b = ProgramBuilder("p")
+    b.fmul(1.5, 2.0)
+    b.exit()
+    prog = b.finish()
+    ops = prog.entry.instructions[0].srcs
+    assert all(type(op).__name__ == "Immediate" for op in ops)
+
+
+def test_isetp_rejects_bad_comparison():
+    b = ProgramBuilder("p")
+    with pytest.raises(IsaError):
+        b.isetp("spaceship", 1, 2)
+
+
+def test_isetp_records_comparison_attr():
+    b = ProgramBuilder("p")
+    b.isetp("ge", 1, 2)
+    b.exit()
+    assert b.program.entry.instructions[0].attrs["cmp"] == "ge"
+
+
+def test_ldg_accepts_queue_destination():
+    b = ProgramBuilder("p")
+    b.ldg(b.reg(), dst=QueueRef(0))
+    b.exit()
+    instr = b.program.entry.instructions[0]
+    assert instr.dst == QueueRef(0)
+
+
+def test_alloc_smem_tracks_buffers_and_size():
+    b = ProgramBuilder("p")
+    base_a = b.alloc_smem("a", 64)
+    base_b = b.alloc_smem("b", 32)
+    assert base_a == 0 and base_b == 64
+    assert b.program.smem_words == 96
+    assert b.program.smem_buffers == {"a": (0, 64), "b": (64, 32)}
+
+
+def test_alloc_smem_rejects_duplicate():
+    b = ProgramBuilder("p")
+    b.alloc_smem("a", 8)
+    with pytest.raises(IsaError):
+        b.alloc_smem("a", 8)
+
+
+def test_buffer_tags_attached_to_memory_ops():
+    b = ProgramBuilder("p")
+    b.alloc_smem("buf", 16)
+    b.sts(b.reg(), 1.0, buffer="buf")
+    b.lds(b.reg(), buffer="buf")
+    b.ldgsts(b.reg(), b.reg(), buffer="buf")
+    b.exit()
+    tags = [i.attrs.get("smem_buffer") for i in b.program.entry.instructions[:3]]
+    assert tags == ["buf", "buf", "buf"]
+
+
+def test_finish_validates_by_default():
+    b = ProgramBuilder("p")
+    b.bra("nowhere")
+    with pytest.raises(Exception):
+        b.finish()
+
+
+def test_emit_after_finish_rejected():
+    b = ProgramBuilder("p")
+    b.exit()
+    b.finish()
+    with pytest.raises(IsaError):
+        b.mov(0)
+
+
+def test_label_starts_new_block():
+    b = ProgramBuilder("p")
+    b.mov(0)
+    b.label("second")
+    b.exit()
+    prog = b.finish()
+    assert [blk.label for blk in prog.blocks] == ["entry", "second"]
+
+
+def test_warp_sum_emits_redux():
+    b = ProgramBuilder("p")
+    r = b.mov(1.0)
+    b.warp_sum(r)
+    b.exit()
+    assert b.program.entry.instructions[1].opcode is Opcode.REDUX

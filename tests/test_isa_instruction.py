@@ -1,0 +1,87 @@
+"""Instruction construction, structural queries and cloning."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import (
+    Immediate,
+    Instruction,
+    InstrCategory,
+    Opcode,
+    Predicate,
+    QueueRef,
+    Register,
+)
+
+
+def test_defaults_category_from_opcode():
+    ldg = Instruction(Opcode.LDG, dst=Register(0), srcs=[Register(1)])
+    assert ldg.category is InstrCategory.MEMORY
+    add = Instruction(Opcode.IADD, dst=Register(0),
+                      srcs=[Register(1), Immediate(1)])
+    assert add.category is InstrCategory.COMPUTE
+
+
+def test_bra_requires_target():
+    with pytest.raises(IsaError):
+        Instruction(Opcode.BRA)
+
+
+def test_barrier_requires_id():
+    with pytest.raises(IsaError):
+        Instruction(Opcode.BAR_SYNC)
+
+
+def test_defined_and_used_registers():
+    instr = Instruction(
+        Opcode.IMAD, dst=Register(5),
+        srcs=[Register(1), Immediate(4), Register(2)],
+    )
+    assert instr.defined_registers() == [Register(5)]
+    assert instr.used_registers() == [Register(1), Register(2)]
+
+
+def test_guard_counts_as_predicate_use():
+    instr = Instruction(
+        Opcode.MOV, dst=Register(0), srcs=[Immediate(1)],
+        guard=Predicate(2),
+    )
+    assert Predicate(2) in instr.used_predicates()
+
+
+def test_queue_push_and_pop_detection():
+    push = Instruction(Opcode.LDG, dst=QueueRef(1), srcs=[Register(0)])
+    assert push.queue_pushes() == [QueueRef(1)]
+    assert push.queue_pops() == []
+    pop = Instruction(Opcode.MOV, dst=Register(0), srcs=[QueueRef(1)])
+    assert pop.queue_pops() == [QueueRef(1)]
+    assert pop.queue_pushes() == []
+
+
+def test_replace_src():
+    instr = Instruction(
+        Opcode.IADD, dst=Register(0), srcs=[Register(1), Register(1)]
+    )
+    instr.replace_src(Register(1), Register(9))
+    assert instr.srcs == [Register(9), Register(9)]
+
+
+def test_clone_is_independent_with_fresh_uid():
+    instr = Instruction(
+        Opcode.IADD, dst=Register(0), srcs=[Register(1), Immediate(2)],
+        attrs={"key": 7},
+    )
+    clone = instr.clone()
+    assert clone.uid != instr.uid
+    assert clone.srcs == instr.srcs
+    assert clone.attrs == instr.attrs
+    clone.attrs["key"] = 8
+    assert instr.attrs["key"] == 7
+
+
+def test_repr_includes_guard_and_operands():
+    instr = Instruction(
+        Opcode.BRA, target="loop", guard=Predicate(0), guard_negated=True
+    )
+    text = repr(instr)
+    assert "@!P0" in text and "loop" in text

@@ -1,0 +1,44 @@
+"""Operand semantics: identity, hashing, rendering."""
+
+from repro.isa import (
+    Immediate,
+    Predicate,
+    QueueRef,
+    Register,
+    SpecialReg,
+    SpecialRegister,
+)
+
+
+def test_register_equality_and_hash():
+    assert Register(3) == Register(3)
+    assert Register(3) != Register(4)
+    assert len({Register(1), Register(1), Register(2)}) == 2
+
+
+def test_register_and_predicate_are_distinct_kinds():
+    assert Register(0) != Predicate(0)
+
+
+def test_queue_ref_repr_and_identity():
+    assert repr(QueueRef(2)) == "Q2"
+    assert QueueRef(2) == QueueRef(2)
+    assert QueueRef(2) != QueueRef(3)
+
+
+def test_immediate_holds_int_and_float():
+    assert Immediate(5).value == 5
+    assert Immediate(2.5).value == 2.5
+    assert Immediate(5) != Immediate(6)
+
+
+def test_special_register_repr_uses_sass_names():
+    assert repr(SpecialRegister(SpecialReg.LANE_ID)) == "SR_LANEID"
+    assert repr(SpecialRegister(SpecialReg.PIPE_STAGE_ID)) == "SR_PIPESTAGE"
+
+
+def test_operands_usable_as_dict_keys():
+    table = {Register(0): "a", Predicate(0): "b", QueueRef(0): "c"}
+    assert table[Register(0)] == "a"
+    assert table[Predicate(0)] == "b"
+    assert table[QueueRef(0)] == "c"

@@ -1,0 +1,114 @@
+"""Program/CFG structure and validation."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.isa import Instruction, Opcode, Predicate, ProgramBuilder, Register
+from repro.isa.program import Program
+
+
+def _loop_program():
+    b = ProgramBuilder("p")
+    i = b.mov(0)
+    b.label("loop")
+    b.iadd(i, 1, dst=i)
+    p = b.isetp("lt", i, 4)
+    b.bra("loop", guard=p)
+    b.label("exit")
+    b.exit()
+    return b.finish()
+
+
+def test_successors_of_conditional_backedge():
+    prog = _loop_program()
+    loop = prog.find_block("loop")
+    assert set(prog.successors(loop)) == {"loop", "exit"}
+
+
+def test_predecessors():
+    prog = _loop_program()
+    preds = prog.predecessors()
+    assert set(preds["loop"]) == {"entry", "loop"}
+    assert preds["entry"] == []
+
+
+def test_entry_is_first_block():
+    prog = _loop_program()
+    assert prog.entry.label == "entry"
+
+
+def test_duplicate_labels_rejected():
+    prog = Program("dup")
+    prog.block("a")
+    with pytest.raises(ValidationError):
+        prog.block("a")
+
+
+def test_unresolved_branch_target_rejected():
+    prog = Program("bad")
+    blk = prog.block("entry")
+    blk.append(Instruction(Opcode.BRA, target="nowhere"))
+    with pytest.raises(ValidationError):
+        prog.validate()
+
+
+def test_missing_exit_rejected():
+    prog = Program("noexit")
+    blk = prog.block("entry")
+    blk.append(Instruction(Opcode.NOP))
+    with pytest.raises(ValidationError):
+        prog.validate()
+
+
+def test_branch_mid_block_rejected():
+    prog = Program("mid")
+    blk = prog.block("entry")
+    blk.append(Instruction(Opcode.BRA, target="entry"))
+    blk.append(Instruction(Opcode.NOP))
+    with pytest.raises(ValidationError):
+        prog.validate()
+
+
+def test_register_count_derived_from_max_index():
+    prog = _loop_program()
+    assert prog.register_count() == prog.max_register_index() + 1
+
+
+def test_register_count_override():
+    prog = _loop_program()
+    prog.num_registers = 40
+    assert prog.register_count() == 40
+
+
+def test_clone_preserves_structure_and_is_isolated():
+    prog = _loop_program()
+    clone = prog.clone()
+    assert [b.label for b in clone.blocks] == [b.label for b in prog.blocks]
+    assert clone.to_text() == prog.to_text()
+    clone.blocks[0].instructions.clear()
+    assert len(prog.blocks[0].instructions) > 0
+    original_uids = {i.uid for i in prog.instructions()}
+    clone_uids = {i.uid for i in clone.instructions()}
+    assert not original_uids & clone_uids
+
+
+def test_containing_block():
+    prog = _loop_program()
+    instr = prog.find_block("loop").instructions[0]
+    assert prog.containing_block(instr).label == "loop"
+
+
+def test_to_text_contains_labels_and_opcodes():
+    text = _loop_program().to_text()
+    assert "loop:" in text
+    assert "IADD" in text
+    assert "EXIT" in text
+
+
+def test_max_predicate_index():
+    prog = _loop_program()
+    assert prog.max_predicate_index() == 0
+    empty = Program("e")
+    blk = empty.block("entry")
+    blk.append(Instruction(Opcode.EXIT))
+    assert empty.max_predicate_index() == -1

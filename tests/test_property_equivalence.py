@@ -1,0 +1,161 @@
+"""Property-based functional equivalence: original vs warp-specialized.
+
+For randomized kernels drawn from the streaming/gather/multi-input
+family, the WASP compiler's output must produce bit-identical global
+memory side effects under every compiler option combination — the
+central correctness contract of automatic warp specialization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.fexec import LaunchConfig, MemoryImage, run_kernel
+from repro.isa import ProgramBuilder, SpecialReg
+
+WIDTH = 8  # small warps keep hypothesis examples fast
+
+
+@st.composite
+def kernel_spec(draw):
+    return {
+        "num_warps": draw(st.integers(1, 3)),
+        "iters_per_warp": draw(st.integers(1, 4)),
+        "fp_ops": draw(st.integers(0, 3)),
+        "gather_depth": draw(st.integers(0, 2)),
+        "num_inputs": draw(st.integers(1, 2)),
+        "seed": draw(st.integers(0, 2**16)),
+        "scale_imm": draw(st.sampled_from([1.0, 0.5, 2.0, -1.5])),
+    }
+
+
+def _build(spec):
+    n = spec["num_warps"] * WIDTH * spec["iters_per_warp"]
+    table_words = 128
+
+    def image_factory() -> MemoryImage:
+        rng = np.random.default_rng(spec["seed"])
+        img = MemoryImage(1 << 12)
+        for k in range(spec["num_inputs"]):
+            img.alloc(f"in{k}", n)
+            if spec["gather_depth"] and k == 0:
+                img.write_array(
+                    f"in{k}", rng.integers(0, table_words, n)
+                )
+            else:
+                img.write_array(f"in{k}", rng.uniform(-4, 4, n))
+        img.alloc("table", table_words)
+        img.write_array("table", rng.uniform(-4, 4, table_words))
+        img.alloc("table2", table_words)
+        img.write_array(
+            "table2", rng.integers(0, table_words, table_words)
+        )
+        img.alloc("out", n)
+        return img
+
+    layout = image_factory()
+    b = ProgramBuilder("prop_kernel")
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    nw = b.special(SpecialReg.NUM_WARPS)
+    i = b.mov(0)
+    tid = b.imad(wid, WIDTH, lane)
+    stride = b.imul(nw, WIDTH)
+    b.label("loop")
+    pos = b.iadd(tid, i)
+    values = []
+    for k in range(spec["num_inputs"]):
+        addr = b.iadd(pos, layout.base(f"in{k}"))
+        value = b.ldg(addr)
+        if k == 0 and spec["gather_depth"] >= 1:
+            # value is an index; chase it through table2/table.
+            if spec["gather_depth"] == 2:
+                addr2 = b.iadd(value, layout.base("table2"))
+                value = b.ldg(addr2)
+            addr3 = b.iadd(value, layout.base("table"))
+            value = b.ldg(addr3)
+        values.append(value)
+    acc = values[0]
+    for value in values[1:]:
+        acc = b.fadd(acc, value)
+    for _ in range(spec["fp_ops"]):
+        acc = b.ffma(acc, spec["scale_imm"], 0.125)
+    out_addr = b.iadd(pos, layout.base("out"))
+    b.stg(out_addr, acc)
+    b.iadd(i, stride, dst=i)
+    pred = b.isetp("lt", i, spec["iters_per_warp"] * WIDTH)
+    b.bra("loop", guard=pred)
+    b.label("done")
+    b.exit()
+    launch = LaunchConfig(num_warps=spec["num_warps"], warp_width=WIDTH)
+    return b.finish(), image_factory, launch
+
+
+_OPTION_SETS = [
+    WaspCompilerOptions(enable_tma_offload=False),
+    WaspCompilerOptions(enable_tma_offload=True),
+    WaspCompilerOptions(max_stages=2, enable_tma_offload=False),
+]
+
+
+@settings(max_examples=25, deadline=None)
+@given(kernel_spec())
+def test_specialized_kernel_memory_equivalent(spec):
+    program, image_factory, launch, = _build(spec)
+    reference = image_factory()
+    run_kernel(program, reference, launch)
+    want = reference.snapshot()
+    for options in _OPTION_SETS:
+        result = WaspCompiler(options).compile(
+            program, num_warps=launch.num_warps
+        )
+        if not result.specialized:
+            continue
+        img = image_factory()
+        spec_launch = replace(
+            launch, num_warps=launch.num_warps * result.num_stages
+        )
+        run_kernel(result.program, img, spec_launch)
+        assert np.array_equal(img.snapshot(), want), (
+            f"divergence with options {options}"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernel_spec())
+def test_specialized_kernel_stage_structure(spec):
+    """Structural invariants of every plan the compiler accepts."""
+    program, _, launch = _build(spec)
+    result = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    if not result.specialized:
+        return
+    tb_spec = result.program.tb_spec
+    assert tb_spec.num_stages == result.num_stages
+    assert len(tb_spec.stage_registers) == result.num_stages
+    for queue in tb_spec.queues:
+        assert queue.src_stage < queue.dst_stage  # acyclic stage graph
+    assert tb_spec.num_warps == launch.num_warps * result.num_stages
+
+
+@settings(max_examples=15, deadline=None)
+@given(kernel_spec(), st.integers(2, 4))
+def test_equivalence_across_thread_block_counts(spec, num_tbs):
+    """Specialization must commute with multi-TB launches."""
+    program, image_factory, launch = _build(spec)
+    launch = replace(launch, num_thread_blocks=num_tbs)
+    reference = image_factory()
+    run_kernel(program, reference, launch)
+    result = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    if not result.specialized:
+        return
+    img = image_factory()
+    run_kernel(
+        result.program, img,
+        replace(launch, num_warps=launch.num_warps * result.num_stages),
+    )
+    assert np.array_equal(img.snapshot(), reference.snapshot())

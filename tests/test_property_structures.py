@@ -1,0 +1,161 @@
+"""Property-based tests on core data structures.
+
+Invariants from DESIGN.md: FIFO order and boundedness of queue
+channels, monotone non-overlapping bandwidth service, cache accounting,
+register-footprint inequalities, and register-compaction correctness.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler.regalloc import compact_registers
+from repro.core.specs import ThreadBlockSpec, contiguous_stage_assignment
+from repro.isa import ProgramBuilder
+from repro.sim.caches import BandwidthServer, SectorCache
+from repro.sim.queues import QueueChannel
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.one_of(
+            st.tuples(st.just("push"), st.floats(0, 1e6)),
+            st.tuples(st.just("pop"), st.just(0.0)),
+        ),
+        max_size=40,
+    ),
+    st.integers(1, 8),
+)
+def test_queue_channel_fifo_and_bounded(ops, capacity):
+    chan = QueueChannel(0, 0, capacity=capacity)
+    model: list[float] = []
+    for op, value in ops:
+        if op == "push" and chan.can_push():
+            chan.push(value)
+            model.append(value)
+        elif op == "pop" and not chan.is_empty():
+            assert chan.pop() == model.pop(0)
+        assert chan.occupancy() == len(model)
+        assert 0 <= chan.occupancy() <= capacity
+        assert chan.is_full() == (len(model) == capacity)
+        assert chan.is_empty() == (not model)
+        if model:
+            assert chan.head_ready_time() == model[0]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1e5), st.floats(0.1, 16)), min_size=1,
+        max_size=40,
+    ),
+    st.floats(0.05, 8),
+)
+def test_bandwidth_server_conserves_work(requests, rate):
+    server = BandwidthServer(rate)
+    total_work = 0.0
+    last_finish = 0.0
+    for now, work in requests:
+        finish = server.submit(now, work)
+        total_work += work
+        # Service never overlaps and never finishes before its work.
+        assert finish >= now + work / rate - 1e-9
+        assert finish >= last_finish
+        last_finish = finish
+    # The server can never report more than 100% utilization.
+    assert server.total_work <= rate * (last_finish - 0.0) + 1e-6
+    assert 0.0 <= server.utilization(last_finish) <= 1.0
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(0, 500), min_size=1, max_size=300),
+    st.integers(1, 64),
+    st.integers(1, 8),
+)
+def test_sector_cache_accounting(accesses, sectors, assoc):
+    cache = SectorCache(num_sectors=max(sectors, assoc), assoc=assoc)
+    for sector in accesses:
+        cache.access(sector)
+    assert cache.hits + cache.misses == len(accesses)
+    assert 0.0 <= cache.hit_rate() <= 1.0
+    # Re-touching the most recent sector always hits.
+    cache.access(accesses[-1])
+    last = accesses[-1]
+    assert cache.access(last) is True
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(1, 4), min_size=1, max_size=6),
+    st.lists(st.integers(1, 128), min_size=1, max_size=6),
+    st.integers(8, 32),
+)
+def test_per_stage_footprint_never_exceeds_uniform(
+    warp_counts, registers, width
+):
+    stages = min(len(warp_counts), len(registers))
+    warp_counts, registers = warp_counts[:stages], registers[:stages]
+    spec = ThreadBlockSpec(
+        num_stages=stages,
+        warps_per_stage=contiguous_stage_assignment(stages, warp_counts),
+        stage_registers=registers,
+    )
+    per_stage = spec.per_stage_register_footprint(width)
+    uniform = spec.uniform_register_footprint(width)
+    assert per_stage <= uniform
+    assert per_stage >= min(registers) * width * spec.num_warps
+    # Slices partition the warps exactly.
+    flattened = sorted(w for s in spec.pipeline_slices() for w in s)
+    assert flattened == list(range(spec.num_warps))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 60), min_size=1, max_size=20),
+    st.integers(0, 60),
+)
+def test_register_compaction_dense_and_consistent(indices, extra):
+    """Compaction renames sparse registers to a dense prefix while
+    preserving the def-use structure (same index -> same index)."""
+    from repro.isa.operands import Register
+
+    b = ProgramBuilder("compact")
+    prev = None
+    for idx in indices:
+        reg = Register(idx)
+        if prev is None:
+            b.mov(1, dst=reg)
+        else:
+            b.iadd(prev, 1, dst=reg)
+        prev = reg
+    b.stg(Register(extra), prev)
+    b.exit()
+    prog = b.finish()
+
+    # Record def-use pattern by position before compaction.
+    def pattern(program):
+        seen: dict[int, int] = {}
+        out = []
+        for instr in program.instructions():
+            row = []
+            for op in instr.used_registers() + instr.defined_registers():
+                if op.index not in seen:
+                    seen[op.index] = len(seen)
+                row.append(seen[op.index])
+            out.append(row)
+        return out
+
+    before = pattern(prog)
+    count = compact_registers(prog)
+    after = pattern(prog)
+    assert before == after  # renaming preserved structure
+    assert prog.max_register_index() == count - 1
+    used = {
+        r.index
+        for i in prog.instructions()
+        for r in i.used_registers() + i.defined_registers()
+    }
+    assert used == set(range(count))

@@ -1,0 +1,79 @@
+"""Sector cache and bandwidth server behaviour."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.caches import BandwidthServer, SectorCache
+
+
+def test_cache_cold_miss_then_hit():
+    cache = SectorCache(num_sectors=64, assoc=4)
+    assert cache.access(5) is False
+    assert cache.access(5) is True
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_cache_lru_eviction_within_set():
+    cache = SectorCache(num_sectors=4, assoc=2)  # 2 sets
+    sets = cache.num_sets
+    a, b, c = 0, sets, 2 * sets  # same set
+    cache.access(a)
+    cache.access(b)
+    cache.access(a)      # a most recent
+    cache.access(c)      # evicts b
+    assert cache.access(a) is True
+    assert cache.access(b) is False
+
+
+def test_cache_hit_rate_and_reset():
+    cache = SectorCache(16, 2)
+    cache.access(1)
+    cache.access(1)
+    assert cache.hit_rate() == pytest.approx(0.5)
+    cache.reset_stats()
+    assert cache.accesses == 0
+
+
+def test_cache_rejects_bad_geometry():
+    with pytest.raises(SimulationError):
+        SectorCache(0, 1)
+
+
+def test_server_idle_request_gets_full_rate():
+    server = BandwidthServer(rate_per_cycle=0.5)
+    assert server.submit(10.0) == pytest.approx(12.0)
+
+
+def test_server_queues_back_to_back_requests():
+    server = BandwidthServer(rate_per_cycle=1.0)
+    t1 = server.submit(0.0)
+    t2 = server.submit(0.0)
+    t3 = server.submit(0.0)
+    assert (t1, t2, t3) == (1.0, 2.0, 3.0)
+
+
+def test_server_idle_gap_is_not_reclaimed():
+    server = BandwidthServer(rate_per_cycle=1.0)
+    server.submit(0.0)
+    late = server.submit(100.0)
+    assert late == pytest.approx(101.0)
+
+
+def test_server_utilization():
+    server = BandwidthServer(rate_per_cycle=2.0)
+    for _ in range(10):
+        server.submit(0.0)
+    assert server.utilization(elapsed=10.0) == pytest.approx(0.5)
+    assert server.utilization(elapsed=0.0) == 0.0
+
+
+def test_server_queue_delay():
+    server = BandwidthServer(rate_per_cycle=1.0)
+    server.submit(0.0, work=5.0)
+    assert server.queue_delay(2.0) == pytest.approx(3.0)
+    assert server.queue_delay(10.0) == 0.0
+
+
+def test_server_rejects_zero_rate():
+    with pytest.raises(SimulationError):
+        BandwidthServer(0.0)

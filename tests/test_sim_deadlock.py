@@ -1,0 +1,73 @@
+"""Timing-level liveness: deadlocks are detected, pipelines terminate."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.fexec.trace import DynamicInstr, KernelTrace, WarpTrace
+from repro.isa.opcodes import FuncUnit, InstrCategory, Opcode
+from repro.sim import simulate_kernel
+from repro.sim.config import baseline_a100
+
+
+def _warp(warp_id, stage, instrs):
+    return WarpTrace(warp_id=warp_id, pipe_stage_id=stage, instrs=instrs)
+
+
+def _pop(queue_id):
+    return DynamicInstr(
+        opcode=Opcode.MOV, unit=FuncUnit.INT,
+        category=InstrCategory.QUEUE, dst_regs=(0,), queue_pop=queue_id,
+    )
+
+
+def _nop():
+    return DynamicInstr(
+        opcode=Opcode.NOP, unit=FuncUnit.NOP,
+        category=InstrCategory.COMPUTE,
+    )
+
+
+def test_pop_without_producer_deadlocks():
+    trace = KernelTrace(
+        kernel_name="dead", num_warps=1, warp_width=8,
+        warps=[_warp(0, 0, [_pop(0)])],
+    )
+    with pytest.raises(DeadlockError):
+        simulate_kernel([trace], baseline_a100())
+
+
+def test_wait_without_arrive_deadlocks():
+    wait = DynamicInstr(
+        opcode=Opcode.BAR_WAIT, unit=FuncUnit.SYNC,
+        category=InstrCategory.SYNC, barrier_id="never",
+    )
+    trace = KernelTrace(
+        kernel_name="dead", num_warps=1, warp_width=8,
+        warps=[_warp(0, 0, [wait])],
+    )
+    with pytest.raises(DeadlockError):
+        simulate_kernel([trace], baseline_a100())
+
+
+def test_partial_sync_deadlocks():
+    """One warp reaches BAR.SYNC; the other already finished."""
+    sync = DynamicInstr(
+        opcode=Opcode.BAR_SYNC, unit=FuncUnit.SYNC,
+        category=InstrCategory.SYNC, barrier_id="tb",
+    )
+    trace = KernelTrace(
+        kernel_name="dead", num_warps=2, warp_width=8,
+        warps=[_warp(0, 0, [sync]), _warp(1, 0, [])],
+    )
+    with pytest.raises(DeadlockError):
+        simulate_kernel([trace], baseline_a100())
+
+
+def test_plain_instructions_terminate():
+    trace = KernelTrace(
+        kernel_name="ok", num_warps=2, warp_width=8,
+        warps=[_warp(0, 0, [_nop()] * 10), _warp(1, 0, [_nop()] * 3)],
+    )
+    result = simulate_kernel([trace], baseline_a100())
+    assert result.cycles > 0
+    assert result.issued_total == 13

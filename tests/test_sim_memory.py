@@ -1,0 +1,71 @@
+"""Memory-system hierarchy: hit levels, latency ordering, drain."""
+
+import pytest
+
+from repro.sim.config import GPUConfig
+from repro.sim.memory import MemorySystem
+
+
+@pytest.fixture
+def mem():
+    return MemorySystem(GPUConfig())
+
+
+def test_cold_access_goes_to_dram(mem):
+    cfg = mem.config
+    done = mem.access_sector(0.0, 42)
+    assert done >= cfg.dram_latency
+    assert mem.stats.dram_accesses == 1
+
+
+def test_l1_hit_is_fast(mem):
+    cfg = mem.config
+    mem.access_sector(0.0, 42)
+    hit = mem.access_sector(1000.0, 42)
+    assert hit == pytest.approx(1000.0 + cfg.l1_latency)
+    assert mem.stats.l1_hits == 1
+
+
+def test_l2_hit_after_l1_eviction(mem):
+    cfg = mem.config
+    mem.access_sector(0.0, 7)
+    # Thrash L1 set containing sector 7 (same set = stride of num_sets).
+    stride = mem.l1.num_sets
+    for k in range(1, cfg.l1_assoc + 1):
+        mem.access_sector(0.0, 7 + k * stride)
+    before = mem.stats.l2_hits
+    mem.access_sector(10_000.0, 7)
+    assert mem.stats.l2_hits == before + 1
+
+
+def test_vector_access_completes_at_slowest_sector(mem):
+    t_one = mem.access_global(0.0, (1,))
+    mem2 = MemorySystem(GPUConfig())
+    t_many = mem2.access_global(0.0, tuple(range(64)))
+    assert t_many > t_one
+
+
+def test_empty_sector_list_is_cheap(mem):
+    assert mem.access_global(5.0, ()) == 5.0 + mem.config.l1_latency
+
+
+def test_smem_access_charges_bandwidth(mem):
+    cfg = mem.config
+    t = mem.access_smem(0.0, cfg.smem_words_per_cycle * 4)
+    assert t == pytest.approx(4.0 + cfg.smem_latency)
+    assert mem.stats.smem_words == cfg.smem_words_per_cycle * 4
+
+
+def test_drain_time_tracks_servers(mem):
+    assert mem.drain_time() == 0.0
+    mem.access_sector(0.0, 1)
+    assert mem.drain_time() > 0.0
+
+
+def test_bandwidth_scaling_changes_service():
+    slow = MemorySystem(GPUConfig().scale_bandwidth(0.5))
+    fast = MemorySystem(GPUConfig().scale_bandwidth(2.0))
+    sectors = tuple(range(32))
+    t_slow = slow.access_global(0.0, sectors)
+    t_fast = fast.access_global(0.0, sectors)
+    assert t_slow > t_fast

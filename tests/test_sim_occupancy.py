@@ -1,0 +1,111 @@
+"""Occupancy computation: limits and WASP per-stage register effects."""
+
+import pytest
+from dataclasses import replace
+
+from repro.core.specs import NamedQueueSpec, ThreadBlockSpec
+from repro.errors import ResourceError
+from repro.sim.config import GPUConfig, QueueImpl, WaspFeatures
+from repro.sim.occupancy import compute_occupancy
+
+
+def _spec(stage_regs=(8, 32), queue_size=32):
+    return ThreadBlockSpec(
+        num_stages=2,
+        warps_per_stage=[[0, 1], [2, 3]],
+        stage_registers=list(stage_regs),
+        queues=[NamedQueueSpec(0, 0, 1, size=queue_size)],
+    )
+
+
+def test_plain_kernel_register_limit():
+    config = GPUConfig()
+    occ = compute_occupancy(
+        config, None, num_warps=4, program_registers=64,
+        smem_words=0, warp_width=32,
+    )
+    # 64 regs * 32 threads * 4 warps = 8192 words; 65536/8192 = 8.
+    assert occ.max_resident_tbs == 8
+    assert occ.limited_by == "registers"
+
+
+def test_warp_slot_limit():
+    config = GPUConfig()
+    occ = compute_occupancy(
+        config, None, num_warps=16, program_registers=4,
+        smem_words=0, warp_width=32,
+    )
+    assert occ.max_resident_tbs == 4
+    assert occ.limited_by == "warp_slots"
+
+
+def test_smem_limit():
+    config = GPUConfig()
+    occ = compute_occupancy(
+        config, None, num_warps=1, program_registers=1,
+        smem_words=config.smem_capacity_words // 2, warp_width=32,
+    )
+    assert occ.max_resident_tbs == 2
+    assert occ.limited_by == "smem"
+
+
+def test_per_stage_allocation_increases_occupancy():
+    spec = _spec(stage_regs=(8, 32))
+    base = GPUConfig()
+    wasp = replace(
+        base,
+        features=replace(base.features, per_stage_registers=True,
+                         queue_impl=QueueImpl.RFQ),
+    )
+    base_rfq = replace(
+        base, features=replace(base.features, queue_impl=QueueImpl.RFQ)
+    )
+    occ_uniform = compute_occupancy(
+        base_rfq, spec, num_warps=4, program_registers=32,
+        smem_words=0, warp_width=32,
+    )
+    occ_per_stage = compute_occupancy(
+        wasp, spec, num_warps=4, program_registers=32,
+        smem_words=0, warp_width=32,
+    )
+    assert (
+        occ_per_stage.register_words_per_tb
+        < occ_uniform.register_words_per_tb
+    )
+    assert occ_per_stage.max_resident_tbs >= occ_uniform.max_resident_tbs
+
+
+def test_queue_storage_location_depends_on_impl():
+    spec = _spec()
+    base = GPUConfig()
+    rfq_cfg = replace(
+        base, features=replace(base.features, queue_impl=QueueImpl.RFQ)
+    )
+    occ_smem = compute_occupancy(
+        base, spec, num_warps=4, program_registers=32,
+        smem_words=128, warp_width=32,
+    )
+    occ_rfq = compute_occupancy(
+        rfq_cfg, spec, num_warps=4, program_registers=32,
+        smem_words=128, warp_width=32,
+    )
+    assert occ_smem.smem_words_per_tb > occ_rfq.smem_words_per_tb
+    assert occ_rfq.register_words_per_tb > occ_smem.register_words_per_tb
+
+
+def test_kernel_too_big_raises():
+    config = GPUConfig()
+    with pytest.raises(ResourceError):
+        compute_occupancy(
+            config, None, num_warps=4,
+            program_registers=100_000, smem_words=0, warp_width=32,
+        )
+
+
+def test_tb_slot_cap():
+    config = replace(GPUConfig(), max_resident_tbs=2)
+    occ = compute_occupancy(
+        config, None, num_warps=1, program_registers=1,
+        smem_words=0, warp_width=32,
+    )
+    assert occ.max_resident_tbs == 2

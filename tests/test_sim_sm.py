@@ -1,0 +1,205 @@
+"""SM core loop: issue, latency exposure, overlap, policies, TMA."""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.fexec import LaunchConfig, run_kernel
+from repro.sim import simulate_kernel
+from repro.sim.config import (
+    GPUConfig,
+    QueueImpl,
+    SchedulingPolicy,
+    WaspFeatures,
+    baseline_a100,
+    wasp_gpu,
+)
+
+
+def _traces(program, image_factory, launch):
+    return run_kernel(program, image_factory(), launch).traces
+
+
+def _spec_launch(launch, result):
+    return replace(launch, num_warps=launch.num_warps * result.num_stages)
+
+
+def test_cycles_positive_and_instrs_counted(stream_setup):
+    program, image_factory, launch, _ = stream_setup
+    traces = _traces(program, image_factory, launch)
+    result = simulate_kernel(traces, baseline_a100())
+    assert result.cycles > 0
+    assert result.issued_total == sum(len(w) for t in traces for w in t.warps)
+
+
+def test_memory_latency_exposed_in_dependent_chain(stream_setup):
+    """With one warp, every load's use stalls for the memory latency."""
+    program, image_factory, launch, _ = stream_setup
+    one_warp = replace(launch, num_warps=1)
+    traces = _traces(program, image_factory, one_warp)
+    result = simulate_kernel(traces, baseline_a100())
+    loads = sum(
+        1 for t in traces for w in t.warps for d in w.instrs
+        if d.opcode.value == "LDG"
+    )
+    # Far slower than pure issue: latency dominates.
+    assert result.cycles > loads * 100
+
+
+def test_more_warps_hide_latency(stream_setup):
+    program, image_factory, launch, _ = stream_setup
+    slow = simulate_kernel(
+        _traces(program, image_factory, replace(launch, num_warps=1)),
+        baseline_a100(),
+    )
+    fast = simulate_kernel(
+        _traces(program, image_factory, replace(launch, num_warps=4)),
+        baseline_a100(),
+    )
+    assert fast.cycles < slow.cycles
+
+
+def test_wasp_pipeline_beats_baseline_kernel(gather_setup):
+    program, image_factory, launch, _ = gather_setup
+    base = simulate_kernel(
+        _traces(program, image_factory, launch), baseline_a100()
+    )
+    compiled = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    wasp = simulate_kernel(
+        _traces(compiled.program, image_factory,
+                _spec_launch(launch, compiled)),
+        wasp_gpu(),
+    )
+    assert wasp.cycles < base.cycles
+
+
+def test_smem_queue_impl_slower_than_rfq(gather_setup):
+    program, image_factory, launch, _ = gather_setup
+    compiled = WaspCompiler(
+        WaspCompilerOptions(enable_tma_offload=False)
+    ).compile(program, num_warps=launch.num_warps)
+    traces = _traces(
+        compiled.program, image_factory, _spec_launch(launch, compiled)
+    )
+    rfq = simulate_kernel(traces, wasp_gpu())
+    smem_features = replace(
+        WaspFeatures.full(), queue_impl=QueueImpl.SMEM
+    )
+    smem = simulate_kernel(
+        traces, replace(baseline_a100(), features=smem_features)
+    )
+    assert smem.queue_overhead_instrs > 0
+    assert rfq.queue_overhead_instrs == 0
+    assert smem.cycles > rfq.cycles
+
+
+def test_tile_pipeline_with_double_buffering_runs(tile_setup):
+    program, image_factory, launch, _ = tile_setup
+    base = simulate_kernel(
+        _traces(program, image_factory, launch), baseline_a100()
+    )
+    compiled = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    assert compiled.double_buffered
+    wasp = simulate_kernel(
+        _traces(compiled.program, image_factory,
+                _spec_launch(launch, compiled)),
+        wasp_gpu(),
+    )
+    assert wasp.cycles > 0
+    assert wasp.cycles <= base.cycles * 1.5  # sanity bound
+
+
+def test_tma_offload_reduces_issued_instructions(stream_setup):
+    program, image_factory, launch, _ = stream_setup
+    no_tma = WaspCompiler(
+        WaspCompilerOptions(enable_tma_offload=False)
+    ).compile(program, num_warps=launch.num_warps)
+    with_tma = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    r_no = simulate_kernel(
+        _traces(no_tma.program, image_factory, _spec_launch(launch, no_tma)),
+        wasp_gpu(),
+    )
+    r_tma = simulate_kernel(
+        _traces(with_tma.program, image_factory,
+                _spec_launch(launch, with_tma)),
+        wasp_gpu(),
+    )
+    assert r_tma.issued_total < r_no.issued_total
+
+
+def test_scheduling_policies_all_run_and_terminate(gather_setup):
+    program, image_factory, launch, _ = gather_setup
+    compiled = WaspCompiler(
+        WaspCompilerOptions(enable_tma_offload=False)
+    ).compile(program, num_warps=launch.num_warps)
+    traces = _traces(
+        compiled.program, image_factory, _spec_launch(launch, compiled)
+    )
+    cycles = {}
+    for policy in SchedulingPolicy:
+        features = replace(
+            WaspFeatures.full(),
+            pipeline_scheduling=True,
+            scheduling_policy=policy,
+        )
+        result = simulate_kernel(
+            traces, replace(baseline_a100(), features=features)
+        )
+        cycles[policy] = result.cycles
+        assert result.cycles > 0
+    assert len(set(cycles.values())) >= 1  # all completed
+
+
+def test_group_pipeline_mapping_runs(gather_setup):
+    program, image_factory, launch, _ = gather_setup
+    compiled = WaspCompiler().compile(program, num_warps=launch.num_warps)
+    traces = _traces(
+        compiled.program, image_factory, _spec_launch(launch, compiled)
+    )
+    for group in (False, True):
+        features = replace(
+            WaspFeatures.full(), group_pipeline_mapping=group
+        )
+        result = simulate_kernel(
+            traces, replace(wasp_gpu(), features=features)
+        )
+        assert result.cycles > 0
+
+
+def test_multi_tb_executes_all_blocks(stream_setup):
+    program, image_factory, launch, _ = stream_setup
+    single = simulate_kernel(
+        _traces(program, image_factory, launch), baseline_a100()
+    )
+    multi = simulate_kernel(
+        _traces(program, image_factory,
+                replace(launch, num_thread_blocks=4)),
+        baseline_a100(),
+    )
+    assert multi.tbs_completed == 4
+    assert multi.issued_total == 4 * single.issued_total
+    # Concurrency means 4x the work takes well under 4x the time.
+    assert multi.cycles < 4 * single.cycles
+
+
+def test_bandwidth_scaling_monotone(stream_setup):
+    program, image_factory, launch, _ = stream_setup
+    traces = _traces(
+        program, image_factory, replace(launch, num_thread_blocks=4)
+    )
+    half = simulate_kernel(traces, baseline_a100().scale_bandwidth(0.5))
+    full = simulate_kernel(traces, baseline_a100())
+    double = simulate_kernel(traces, baseline_a100().scale_bandwidth(2.0))
+    assert half.cycles >= full.cycles >= double.cycles
+
+
+def test_timeline_buckets_emitted(stream_setup):
+    program, image_factory, launch, _ = stream_setup
+    result = simulate_kernel(
+        _traces(program, image_factory, launch), baseline_a100()
+    )
+    assert result.timeline
+    for _, compute, memory in result.timeline:
+        assert 0.0 <= compute
+        assert 0.0 <= memory <= 1.0

@@ -1,0 +1,235 @@
+"""Workload substrates: matrices, graphs, kernel templates, registry."""
+
+import numpy as np
+import pytest
+
+from repro.fexec import run_kernel
+from repro.workloads import all_benchmarks, get_benchmark
+from repro.workloads import kernels as K
+from repro.workloads.graphs import bfs_frontier, power_law_graph, road_graph
+from repro.workloads.sparse import banded_csr, power_law_csr, road_like_csr
+
+
+# -- sparse matrices --------------------------------------------------------
+
+
+def _check_csr(matrix):
+    assert matrix.row_ptr[0] == 0
+    assert matrix.row_ptr[-1] == len(matrix.col_idx)
+    assert np.all(np.diff(matrix.row_ptr) >= 1)  # >= 1 nnz per row
+    assert matrix.col_idx.min() >= 0
+    assert matrix.col_idx.max() < matrix.num_cols
+    assert len(matrix.values) == matrix.nnz
+
+
+def test_banded_csr_structure():
+    m = banded_csr(128, nnz_per_row=5, bandwidth=8)
+    _check_csr(m)
+    for row in range(m.num_rows):
+        cols = m.col_idx[m.row_ptr[row]:m.row_ptr[row + 1]]
+        assert np.all(np.abs(cols - row) <= 8) or row < 8 or row > 120
+
+
+def test_power_law_csr_is_skewed():
+    m = power_law_csr(256, avg_nnz=8)
+    _check_csr(m)
+    lengths = np.diff(m.row_ptr)
+    assert lengths.max() > 4 * np.median(lengths)
+
+
+def test_road_like_csr_low_constant_degree():
+    m = road_like_csr(144)
+    _check_csr(m)
+    lengths = np.diff(m.row_ptr)
+    assert lengths.max() <= 6
+
+
+def test_spmv_reference():
+    m = banded_csr(32, nnz_per_row=3, bandwidth=4)
+    x = np.ones(32)
+    y = m.spmv(x)
+    for row in range(32):
+        s, e = m.row_ptr[row], m.row_ptr[row + 1]
+        assert np.isclose(y[row], m.values[s:e].sum())
+
+
+def test_generators_deterministic():
+    a = power_law_csr(64, seed=5)
+    b = power_law_csr(64, seed=5)
+    assert np.array_equal(a.col_idx, b.col_idx)
+    assert np.array_equal(a.values, b.values)
+
+
+# -- graphs -----------------------------------------------------------------
+
+
+def test_graph_generators():
+    g = power_law_graph(128)
+    _check_csr(g)
+    r = road_graph(100)
+    _check_csr(r)
+
+
+def test_bfs_frontier_nonempty_and_valid():
+    g = power_law_graph(256)
+    frontier = bfs_frontier(g, source=0, depth=2)
+    assert len(frontier) > 0
+    assert frontier.min() >= 0 and frontier.max() < 256
+
+
+# -- kernel templates: functional correctness vs numpy ---------------------
+
+
+def test_streaming_kernel_matches_numpy():
+    kernel = K.streaming_kernel(
+        "t", elems_per_tb=256, num_tbs=2, num_inputs=2, fp_ops=1, seed=9
+    )
+    img = kernel.image_factory()
+    run_kernel(kernel.program, img, kernel.launch)
+    in0, in1 = img.read_array("in0"), img.read_array("in1")
+    expected = (in0 + in1) * 1.0009765625 + 0.25
+    assert np.allclose(img.read_array("out"), expected)
+
+
+def test_gather_kernel_matches_numpy():
+    kernel = K.gather_kernel(
+        "t", elems_per_tb=256, num_tbs=2, table_words=512, fp_ops=0,
+        seed=10,
+    )
+    img = kernel.image_factory()
+    run_kernel(kernel.program, img, kernel.launch)
+    idx = img.read_array("idx").astype(int)
+    table = img.read_array("table")
+    assert np.allclose(img.read_array("out"), table[idx])
+
+
+def test_ell_graph_kernel_matches_numpy():
+    kernel = K.ell_graph_kernel(
+        "t", frontier_per_tb=128, num_tbs=2, degree=4,
+        num_nodes=512, fp_ops=0, reduce_min=True, seed=11,
+    )
+    img = kernel.image_factory()
+    run_kernel(kernel.program, img, kernel.launch)
+    frontier = img.read_array("frontier").astype(int)
+    adj = img.read_array("adj").astype(int).reshape(-1, 4)
+    dist = img.read_array("dist")
+    expected = dist[adj[frontier]].min(axis=1)
+    assert np.allclose(img.read_array("out"), expected)
+
+
+def test_csr_spmv_kernel_matches_reference():
+    matrix = banded_csr(128, nnz_per_row=4, bandwidth=8, seed=12)
+    kernel = K.csr_spmv_kernel("t", matrix, rows_per_tb=32, num_tbs=4,
+                               seed=13)
+    img = kernel.image_factory()
+    run_kernel(kernel.program, img, kernel.launch)
+    x = img.read_array("x")
+    assert np.allclose(img.read_array("y"), matrix.spmv(x))
+
+
+def test_csr_spmm_kernel_matches_reference():
+    matrix = banded_csr(64, nnz_per_row=4, bandwidth=8, seed=14)
+    kernel = K.csr_spmm_kernel("t", matrix, rows_per_tb=16, num_tbs=4,
+                               seed=15)
+    img = kernel.image_factory()
+    run_kernel(kernel.program, img, kernel.launch)
+    bdense = img.read_array("bdense").reshape(matrix.num_cols, K.WIDTH)
+    cdense = img.read_array("cdense").reshape(matrix.num_rows, K.WIDTH)
+    for row in range(matrix.num_rows):
+        s, e = matrix.row_ptr[row], matrix.row_ptr[row + 1]
+        expected = (
+            matrix.values[s:e, None] * bdense[matrix.col_idx[s:e]]
+        ).sum(axis=0)
+        assert np.allclose(cdense[row], expected)
+
+
+def test_tile_gemm_kernel_runs_and_is_flagged():
+    kernel = K.tile_gemm_kernel("t", k_tiles=3, tile_elems=128,
+                                num_tbs=1, hmma_per_tile=4, seed=16)
+    assert kernel.is_gemm
+    img = kernel.image_factory()
+    run_kernel(kernel.program, img, kernel.launch)
+    assert np.any(img.read_array("c") != 0)
+
+
+def test_stencil_kernel_matches_numpy():
+    offsets = (-2, 0, 2)
+    kernel = K.stencil_kernel("t", elems_per_tb=128, num_tbs=2,
+                              offsets=offsets, fp_ops=0, seed=17)
+    img = kernel.image_factory()
+    run_kernel(kernel.program, img, kernel.launch)
+    halo = max(abs(o) for o in offsets) + 8
+    grid = img.read_array("grid")
+    n = 256
+    expected = sum(
+        grid[halo + off:halo + off + n] for off in offsets
+    ) / len(offsets)
+    assert np.allclose(img.read_array("out"), expected)
+
+
+def test_spmv_kernel_rejects_oversized_launch():
+    matrix = banded_csr(32)
+    with pytest.raises(ValueError):
+        K.csr_spmv_kernel("t", matrix, rows_per_tb=64, num_tbs=4)
+
+
+# -- registry ---------------------------------------------------------------
+
+
+def test_registry_has_all_twenty_benchmarks():
+    names = all_benchmarks()
+    assert len(names) == 20
+    assert names[0] == "3d_unet"
+    assert "lonestar_sp" in names
+
+
+def test_benchmarks_cached_per_scale():
+    a = get_benchmark("pointnet", 1.0)
+    b = get_benchmark("pointnet", 1.0)
+    c = get_benchmark("pointnet", 0.5)
+    assert a is b
+    assert a is not c
+
+
+@pytest.mark.parametrize("name", all_benchmarks())
+def test_every_benchmark_builds_and_runs_functionally(name):
+    benchmark = get_benchmark(name, scale=0.25)
+    assert benchmark.kernels
+    kernel = benchmark.kernels[0]
+    img = kernel.image_factory()
+    result = run_kernel(kernel.program, img, kernel.launch)
+    assert result.traces[0].total_instructions() > 0
+
+
+def test_spgemm_symbolic_kernel_matches_reference():
+    from repro.workloads.sparse_suite import spgemm_symbolic_kernel
+
+    a = power_law_csr(64, avg_nnz=5, alpha=2.2, seed=31)
+    b = power_law_csr(64, avg_nnz=5, alpha=2.2, seed=32)
+    kernel = spgemm_symbolic_kernel("t", a, b, rows_per_tb=16, num_tbs=4,
+                                    num_warps=2)
+    img = kernel.image_factory()
+    run_kernel(kernel.program, img, kernel.launch)
+    counts = img.read_array("counts")
+    for row in range(64):
+        start, end = a.row_ptr[row], a.row_ptr[row + 1]
+        expected = sum(
+            int(b.row_ptr[c + 1] - b.row_ptr[c])
+            for c in a.col_idx[start:end]
+        )
+        assert counts[row] == expected
+
+
+def test_spgemm_numeric_kernel_deterministic():
+    from repro.workloads.sparse_suite import spgemm_numeric_kernel
+
+    a = power_law_csr(64, avg_nnz=4, alpha=2.2, seed=33)
+    b = power_law_csr(64, avg_nnz=4, alpha=2.2, seed=34)
+    kernel = spgemm_numeric_kernel("t", a, b, rows_per_tb=16, num_tbs=4,
+                                   num_warps=2)
+    img1 = kernel.image_factory()
+    run_kernel(kernel.program, img1, kernel.launch)
+    img2 = kernel.image_factory()
+    run_kernel(kernel.program, img2, kernel.launch)
+    assert np.array_equal(img1.read_array("c_out"), img2.read_array("c_out"))
+    assert np.any(img1.read_array("c_out") != 0)
