@@ -5,6 +5,12 @@ Each bench regenerates one paper table or figure and prints it, so
 evaluation.  ``REPRO_BENCH_SCALE`` (default 0.25) shrinks the workloads
 for quick runs; set it to 1.0 for the full-size sweep recorded in
 EXPERIMENTS.md.
+
+The session keeps the persistent trace cache warm: every bench shares
+``GLOBAL_CACHE`` (backed by ``REPRO_CACHE_DIR``, default
+``.repro_cache``), so traces generated for one figure are reused by the
+next, and by subsequent sessions.  Aggregate hit/miss counts are
+printed at teardown.
 """
 
 import os
@@ -24,6 +30,22 @@ SWEEP_BENCHMARKS = [
 @pytest.fixture(scope="session")
 def bench_scale() -> float:
     return BENCH_SCALE
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_trace_cache():
+    """Share one persistent trace cache across the whole bench session."""
+    from repro.experiments.runner import GLOBAL_CACHE
+
+    yield GLOBAL_CACHE
+    stats = GLOBAL_CACHE.stats
+    store = GLOBAL_CACHE.store
+    where = store.cache_dir if store is not None else "memory only"
+    print(
+        f"\n[trace cache @ {where}: {stats.memory_hits} memory hits, "
+        f"{stats.disk_hits} disk hits, {stats.generations} generations, "
+        f"{stats.disk_writes} disk writes]"
+    )
 
 
 def emit(result) -> None:

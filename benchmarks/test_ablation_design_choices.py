@@ -12,14 +12,10 @@ from dataclasses import replace
 
 from benchmarks.conftest import emit
 from repro.core.compiler import WaspCompilerOptions
-from repro.experiments.configs import (
-    EvalConfig,
-    baseline_config,
-    wasp_gpu_config,
-)
+from repro.experiments.configs import baseline_config, wasp_gpu_config
 from repro.experiments.reporting import format_table, geomean
 from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
-from repro.sim.config import QueueImpl, WaspFeatures, baseline_a100
+from repro.sim.config import QueueImpl
 from repro.workloads import get_benchmark
 
 GEMM_BENCHMARKS = ["3d_unet", "bert", "dlrm", "gpt2"]

@@ -11,7 +11,6 @@ kernels), and the full WASP GPU.
 Run:  python examples/gemm_pipeline.py
 """
 
-from dataclasses import replace
 
 from repro.core.compiler import WaspCompiler, WaspCompilerOptions
 from repro.experiments.configs import baseline_config, wasp_gpu_config

@@ -3,9 +3,9 @@
 Examples::
 
     python -m repro list
-    python -m repro fig14 --scale 0.5
+    python -m repro fig14 --scale 0.5 --jobs 4
     python -m repro table2 --benchmarks pointnet lonestar_bfs
-    python -m repro fig18 --scale 0.25
+    python -m repro fig18 --scale 0.25 --no-cache
 """
 
 from __future__ import annotations
@@ -49,20 +49,45 @@ def build_parser() -> argparse.ArgumentParser:
         "--benchmarks", nargs="*", default=None,
         help="benchmark subset (default: all twenty)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes for the sweep (default: REPRO_JOBS or 1)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="trace cache directory (default: REPRO_CACHE_DIR or "
+             ".repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent on-disk trace cache",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="delete all persisted trace cache entries before running",
+    )
     return parser
 
 
-def _run_one(artifact: str, scale: float, benchmarks) -> None:
+def _run_one(artifact: str, args: argparse.Namespace) -> None:
+    from repro.experiments.parallel import last_report
+    from repro.experiments.reporting import format_cache_report
+
     module = importlib.import_module(f"repro.experiments.{artifact}")
     start = time.time()
     if artifact == "table4":
         result = module.run()
     elif artifact == "fig3":
-        result = module.run(scale=scale)
+        result = module.run(scale=args.scale, jobs=args.jobs)
     else:
-        result = module.run(scale=scale, benchmarks=benchmarks)
+        result = module.run(
+            scale=args.scale, benchmarks=args.benchmarks, jobs=args.jobs
+        )
     print(result.to_text())
     print(f"\n[{artifact} regenerated in {time.time() - start:.1f}s]")
+    report = last_report()
+    if report is not None:
+        print(format_cache_report(report))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,12 +97,27 @@ def main(argv: list[str] | None = None) -> int:
         for key in sorted(_ARTIFACTS):
             print(f"  {key.ljust(width)}  {_ARTIFACTS[key]}")
         return 0
+
+    from repro.experiments.runner import configure_global_cache
+    from repro.fexec.trace_store import TraceStore
+
+    if args.clear_cache:
+        store = TraceStore(args.cache_dir)
+        removed = store.clear()
+        print(
+            f"[cleared {removed} cached trace entries from "
+            f"{store.cache_dir}]"
+        )
+    configure_global_cache(
+        cache_dir=args.cache_dir, enabled=not args.no_cache
+    )
+
     if args.artifact == "all":
         for key in sorted(_ARTIFACTS):
-            _run_one(key, args.scale, args.benchmarks)
+            _run_one(key, args)
             print()
         return 0
-    _run_one(args.artifact, args.scale, args.benchmarks)
+    _run_one(args.artifact, args)
     return 0
 
 

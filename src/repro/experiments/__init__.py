@@ -26,13 +26,25 @@ from repro.experiments.configs import (
     standard_configs,
     wasp_gpu_config,
 )
+from repro.experiments.parallel import (
+    SweepReport,
+    SweepResult,
+    last_report,
+    resolve_jobs,
+    run_sweep,
+)
 from repro.experiments.runner import run_benchmark, run_kernel
 
 __all__ = [
     "EvalConfig",
+    "SweepReport",
+    "SweepResult",
     "baseline_config",
+    "last_report",
+    "resolve_jobs",
     "run_benchmark",
     "run_kernel",
+    "run_sweep",
     "standard_configs",
     "wasp_gpu_config",
 ]

@@ -5,9 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.configs import standard_configs
-from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table, geomean
-from repro.workloads import all_benchmarks, get_benchmark
+from repro.workloads import all_benchmarks
 
 
 @dataclass
@@ -43,16 +43,19 @@ class Fig14Result:
         )
 
 
-def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig14Result:
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    jobs: int | None = None,
+) -> Fig14Result:
     """Regenerate Figure 14."""
-    cache = GLOBAL_CACHE
+    names = list(benchmarks or all_benchmarks())
     configs = standard_configs()
+    sweep = run_sweep(names, scale, configs, jobs=jobs)
     result = Fig14Result(config_names=[c.name for c in configs])
-    for name in benchmarks or all_benchmarks():
-        benchmark = get_benchmark(name, scale)
+    for name in names:
         totals = [
-            run_benchmark(benchmark, cfg, cache).total_cycles
-            for cfg in configs
+            sweep.total_cycles(name, idx) for idx in range(len(configs))
         ]
         baseline = totals[0]
         result.rows.append((name, [baseline / t for t in totals]))

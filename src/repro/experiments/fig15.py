@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.configs import progressive_feature_configs
-from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table, geomean
-from repro.workloads import all_benchmarks, get_benchmark
+from repro.workloads import all_benchmarks
 
 
 @dataclass
@@ -53,16 +53,19 @@ class Fig15Result:
         )
 
 
-def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig15Result:
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    jobs: int | None = None,
+) -> Fig15Result:
     """Regenerate Figure 15."""
-    cache = GLOBAL_CACHE
+    names = list(benchmarks or all_benchmarks())
     configs = progressive_feature_configs()
+    sweep = run_sweep(names, scale, configs, jobs=jobs)
     result = Fig15Result(config_names=[c.name for c in configs[1:]])
-    for name in benchmarks or all_benchmarks():
-        benchmark = get_benchmark(name, scale)
+    for name in names:
         totals = [
-            run_benchmark(benchmark, cfg, cache).total_cycles
-            for cfg in configs
+            sweep.total_cycles(name, idx) for idx in range(len(configs))
         ]
         reference = totals[0]  # WASP compiler, software-only
         result.rows.append(

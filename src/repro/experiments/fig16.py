@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from repro.core.compiler import WaspCompiler, WaspCompilerOptions
 from repro.core.mapping import register_footprint
 from repro.experiments.configs import baseline_config
-from repro.experiments.runner import GLOBAL_CACHE, run_kernel
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table
 from repro.workloads import all_benchmarks, get_benchmark
 
@@ -58,17 +58,22 @@ class Fig16Result:
         )
 
 
-def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig16Result:
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    jobs: int | None = None,
+) -> Fig16Result:
     """Regenerate Figure 16."""
-    cache = GLOBAL_CACHE
-    base_cfg = baseline_config()
+    names = list(benchmarks or all_benchmarks())
+    sweep = run_sweep(names, scale, [baseline_config()], jobs=jobs)
     compiler = WaspCompiler(WaspCompilerOptions())
     result = Fig16Result()
-    for name in benchmarks or all_benchmarks():
+    for name in names:
         benchmark = get_benchmark(name, scale)
         dominant = max(
             benchmark.kernels,
-            key=lambda k: k.weight * run_kernel(k, base_cfg, cache).cycles,
+            key=lambda k: k.weight
+            * sweep.kernel_result(name, k.name, 0).cycles,
         )
         compiled = compiler.compile(
             dominant.program, num_warps=dominant.launch.num_warps

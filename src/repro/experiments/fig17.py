@@ -13,9 +13,9 @@ from repro.experiments.configs import (
     gto_wasp_hw_config,
     scheduling_policy_configs,
 )
-from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table, geomean
-from repro.workloads import all_benchmarks, get_benchmark
+from repro.workloads import all_benchmarks
 
 
 @dataclass
@@ -47,18 +47,22 @@ class Fig17Result:
         )
 
 
-def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig17Result:
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    jobs: int | None = None,
+) -> Fig17Result:
     """Regenerate Figure 17."""
-    cache = GLOBAL_CACHE
-    reference = gto_wasp_hw_config()
+    names = list(benchmarks or all_benchmarks())
     policies = scheduling_policy_configs()
+    configs = [gto_wasp_hw_config()] + policies
+    sweep = run_sweep(names, scale, configs, jobs=jobs)
     result = Fig17Result(policy_names=[c.name for c in policies])
-    for name in benchmarks or all_benchmarks():
-        benchmark = get_benchmark(name, scale)
-        gto_cycles = run_benchmark(benchmark, reference, cache).total_cycles
+    for name in names:
+        gto_cycles = sweep.total_cycles(name, 0)
         speedups = [
-            gto_cycles / run_benchmark(benchmark, cfg, cache).total_cycles
-            for cfg in policies
+            gto_cycles / sweep.total_cycles(name, idx)
+            for idx in range(1, len(configs))
         ]
         result.rows.append((name, speedups))
     return result

@@ -11,9 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.configs import baseline_config, wasp_gpu_config
-from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table, geomean
-from repro.workloads import all_benchmarks, get_benchmark
+from repro.workloads import all_benchmarks
 
 DEFAULT_SIZES = (8, 16, 32, 64, 128)
 
@@ -50,18 +50,20 @@ def run(
     scale: float = 1.0,
     benchmarks: list[str] | None = None,
     sizes: tuple[int, ...] = DEFAULT_SIZES,
+    jobs: int | None = None,
 ) -> Fig18Result:
     """Regenerate Figure 18."""
-    cache = GLOBAL_CACHE
-    base_cfg = baseline_config()
+    names = list(benchmarks or all_benchmarks())
+    configs = [baseline_config()] + [
+        wasp_gpu_config(rfq_size=size) for size in sizes
+    ]
+    sweep = run_sweep(names, scale, configs, jobs=jobs)
     result = Fig18Result(sizes=list(sizes))
-    for name in benchmarks or all_benchmarks():
-        benchmark = get_benchmark(name, scale)
-        base_cycles = run_benchmark(benchmark, base_cfg, cache).total_cycles
-        speedups = []
-        for size in sizes:
-            cfg = wasp_gpu_config(rfq_size=size)
-            cycles = run_benchmark(benchmark, cfg, cache).total_cycles
-            speedups.append(base_cycles / cycles)
+    for name in names:
+        base_cycles = sweep.total_cycles(name, 0)
+        speedups = [
+            base_cycles / sweep.total_cycles(name, idx)
+            for idx in range(1, len(configs))
+        ]
         result.rows.append((name, speedups))
     return result

@@ -12,11 +12,11 @@ from dataclasses import dataclass, field
 
 from repro.core.compiler import WaspCompilerOptions
 from repro.experiments.configs import EvalConfig, baseline_config
-from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table
 from repro.isa.opcodes import InstrCategory
 from repro.sim.config import wasp_gpu
-from repro.workloads import all_benchmarks, get_benchmark
+from repro.workloads import all_benchmarks
 
 _CATEGORY_ORDER = [
     InstrCategory.MEMORY,
@@ -75,17 +75,21 @@ def _configs() -> list[EvalConfig]:
     ]
 
 
-def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig19Result:
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    jobs: int | None = None,
+) -> Fig19Result:
     """Regenerate Figure 19."""
-    cache = GLOBAL_CACHE
+    names = list(benchmarks or all_benchmarks())
     configs = _configs()
     labels = ["B", "W", "T"]
+    sweep = run_sweep(names, scale, configs, jobs=jobs)
     result = Fig19Result()
-    for name in benchmarks or all_benchmarks():
-        benchmark = get_benchmark(name, scale)
+    for name in names:
         baseline_total = None
-        for label, cfg in zip(labels, configs):
-            bench_result = run_benchmark(benchmark, cfg, cache)
+        for idx, label in enumerate(labels):
+            bench_result = sweep.benchmark_result(name, idx)
             total = 0
             by_category: dict[InstrCategory, int] = {}
             for kres in bench_result.kernels:

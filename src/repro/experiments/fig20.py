@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.experiments.configs import baseline_config, wasp_gpu_config
-from repro.experiments.runner import GLOBAL_CACHE, run_benchmark
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table, geomean
-from repro.workloads import all_benchmarks, get_benchmark
+from repro.workloads import all_benchmarks
 
 FACTORS = (0.5, 1.0, 2.0)
 
@@ -51,9 +51,13 @@ class Fig20Result:
         )
 
 
-def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig20Result:
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    jobs: int | None = None,
+) -> Fig20Result:
     """Regenerate Figure 20."""
-    cache = GLOBAL_CACHE
+    names = list(benchmarks or all_benchmarks())
     configs = []
     labels = []
     for base_cfg, tag in (
@@ -68,13 +72,12 @@ def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig20Result:
                 )
             )
             labels.append(f"{tag} {factor:g}x")
+    sweep = run_sweep(names, scale, configs, jobs=jobs)
     result = Fig20Result(labels=labels)
     reference_idx = labels.index("A100 1x")
-    for name in benchmarks or all_benchmarks():
-        benchmark = get_benchmark(name, scale)
+    for name in names:
         totals = [
-            run_benchmark(benchmark, cfg, cache).total_cycles
-            for cfg in configs
+            sweep.total_cycles(name, idx) for idx in range(len(configs))
         ]
         reference = totals[reference_idx]
         result.rows.append((name, [reference / t for t in totals]))

@@ -11,9 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.experiments.configs import baseline_config, wasp_gpu_config
-from repro.experiments.runner import BenchmarkResult, GLOBAL_CACHE, run_benchmark
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table
-from repro.workloads import all_benchmarks, get_benchmark
+from repro.experiments.runner import BenchmarkResult
+from repro.workloads import all_benchmarks
 
 
 @dataclass
@@ -62,16 +63,20 @@ def _weighted_util(result: BenchmarkResult, attr: str) -> float:
     return weighted / total_time
 
 
-def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Fig21Result:
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    jobs: int | None = None,
+) -> Fig21Result:
     """Regenerate Figure 21."""
-    cache = GLOBAL_CACHE
-    base_cfg = baseline_config()
-    wasp_cfg = wasp_gpu_config()
+    names = list(benchmarks or all_benchmarks())
+    sweep = run_sweep(
+        names, scale, [baseline_config(), wasp_gpu_config()], jobs=jobs
+    )
     result = Fig21Result()
-    for name in benchmarks or all_benchmarks():
-        benchmark = get_benchmark(name, scale)
-        base = run_benchmark(benchmark, base_cfg, cache)
-        wasp = run_benchmark(benchmark, wasp_cfg, cache)
+    for name in names:
+        base = sweep.benchmark_result(name, 0)
+        wasp = sweep.benchmark_result(name, 1)
         result.rows.append(
             Fig21Row(
                 benchmark=name,

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.experiments.configs import baseline_config, wasp_gpu_config
-from repro.experiments.runner import GLOBAL_CACHE, run_kernel
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table
 from repro.workloads import get_benchmark
 
@@ -99,14 +99,22 @@ def _sparkline(values: list[float], width: int = 64) -> str:
     return "".join(_BARS[i] for i in idx)
 
 
-def run(scale: float = 1.0, benchmark: str = "pointnet") -> Fig3Result:
+def run(
+    scale: float = 1.0,
+    benchmark: str = "pointnet",
+    jobs: int | None = None,
+) -> Fig3Result:
     """Regenerate Figure 3 for the pointnet gather kernel."""
-    cache = GLOBAL_CACHE
     bench = get_benchmark(benchmark, scale)
     kernel = bench.kernels[0]
+    configs = [baseline_config(), wasp_gpu_config()]
+    sweep = run_sweep(
+        [benchmark], scale, configs, jobs=jobs,
+        kernel_names={benchmark: [kernel.name]},
+    )
     result = Fig3Result()
-    for cfg in (baseline_config(), wasp_gpu_config()):
-        kres = run_kernel(kernel, cfg, cache)
+    for idx, cfg in enumerate(configs):
+        kres = sweep.kernel_result(benchmark, kernel.name, idx)
         timeline = kres.sim.timeline
         result.series.append(
             TimelineSeries(

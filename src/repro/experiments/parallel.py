@@ -1,0 +1,336 @@
+"""Parallel experiment runner: kernel×config fan-out over a process pool.
+
+Every figure sweep decomposes into independent (kernel, configuration)
+timing tasks.  This module fans them out over ``concurrent.futures``
+worker processes, with two properties the figures rely on:
+
+* **Determinism** — results are assembled by task identity, so
+  ``--jobs N`` produces numerically identical figures to ``--jobs 1``.
+* **No duplicated trace generation** — when the persistent trace cache
+  is enabled, a *warm phase* first generates each unique (kernel,
+  compiler-options) trace exactly once across the pool; the simulate
+  phase then runs entirely from cache hits.
+
+Job count comes from ``jobs=`` (CLI ``--jobs``), else the
+``REPRO_JOBS`` environment variable, else 1 (serial, no pool).
+Workers communicate by task descriptor (benchmark name, scale, kernel
+name, config) because kernels hold closure-based image factories that
+cannot cross process boundaries; each worker rebuilds its kernels from
+the deterministic workload registry and shares traces through the
+content-addressed disk store.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import CompilerError
+from repro.experiments.configs import EvalConfig
+from repro.experiments.runner import (
+    GLOBAL_CACHE,
+    BenchmarkResult,
+    CacheStats,
+    KernelResult,
+    _compiler_options_for,
+    run_kernel,
+)
+from repro.workloads import get_benchmark
+from repro.workloads.base import Benchmark
+
+
+@dataclass(frozen=True)
+class KernelTask:
+    """One unit of sweep work: time one kernel under one configuration."""
+
+    benchmark: str
+    scale: float
+    kernel: str
+    config: EvalConfig
+    config_index: int
+
+
+@dataclass
+class TaskTiming:
+    benchmark: str
+    kernel: str
+    config_name: str
+    phase: str  # 'warm' or 'simulate'
+    seconds: float
+
+
+@dataclass
+class SweepReport:
+    """Per-sweep execution statistics: timing plus cache hit/miss."""
+
+    jobs: int = 1
+    num_tasks: int = 0
+    wall_seconds: float = 0.0
+    worker_seconds: float = 0.0
+    stats: CacheStats = field(default_factory=CacheStats)
+    timings: list[TaskTiming] = field(default_factory=list)
+
+    def merge(self, other: "SweepReport") -> None:
+        self.jobs = max(self.jobs, other.jobs)
+        self.num_tasks += other.num_tasks
+        self.wall_seconds += other.wall_seconds
+        self.worker_seconds += other.worker_seconds
+        self.stats.merge(other.stats)
+        self.timings.extend(other.timings)
+
+    def slowest_tasks(self, count: int = 5) -> list[TaskTiming]:
+        return sorted(
+            self.timings, key=lambda t: t.seconds, reverse=True
+        )[:count]
+
+
+class SweepResult:
+    """Assembled results of one sweep, indexed like the serial loops."""
+
+    def __init__(
+        self,
+        benchmarks: dict[str, Benchmark],
+        configs: list[EvalConfig],
+        results: dict[tuple[str, str, int], KernelResult],
+        report: SweepReport,
+    ) -> None:
+        self._benchmarks = benchmarks
+        self._configs = configs
+        self._results = results
+        self.report = report
+
+    def kernel_result(
+        self, benchmark: str, kernel: str, config_index: int
+    ) -> KernelResult:
+        return self._results[(benchmark, kernel, config_index)]
+
+    def benchmark_result(
+        self, benchmark: str, config_index: int
+    ) -> BenchmarkResult:
+        bench = self._benchmarks[benchmark]
+        result = BenchmarkResult(
+            benchmark=bench,
+            config_name=self._configs[config_index].name,
+        )
+        for kernel in bench.kernels:
+            result.kernels.append(
+                self.kernel_result(benchmark, kernel.name, config_index)
+            )
+        return result
+
+    def total_cycles(self, benchmark: str, config_index: int) -> float:
+        return self.benchmark_result(benchmark, config_index).total_cycles
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective worker count: explicit value, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                jobs = 1
+        else:
+            jobs = 1
+    return max(1, jobs)
+
+
+_LAST_REPORT: SweepReport | None = None
+
+
+def last_report() -> SweepReport | None:
+    """The report of the most recent sweep in this process (for the CLI)."""
+    return _LAST_REPORT
+
+
+def _record_report(report: SweepReport) -> None:
+    global _LAST_REPORT
+    _LAST_REPORT = report
+
+
+# -- worker side ------------------------------------------------------------
+
+
+def _worker_init(cache_dir: str | None, enabled: bool) -> None:
+    from repro.experiments.runner import configure_global_cache
+
+    configure_global_cache(cache_dir=cache_dir, enabled=enabled)
+
+
+def _task_kernel(task: KernelTask):
+    return get_benchmark(task.benchmark, task.scale).kernel(task.kernel)
+
+
+def _run_warm_task(spec: tuple[KernelTask, str]):
+    """Generate (or load) one functional trace into the shared store."""
+    task, mode = spec
+    start = time.perf_counter()
+    before = GLOBAL_CACHE.stats.snapshot()
+    kernel = _task_kernel(task)
+    if mode == "original":
+        GLOBAL_CACHE.original(kernel)
+    else:
+        options = _compiler_options_for(kernel, task.config)
+        if options is not None:
+            try:
+                GLOBAL_CACHE.specialized(kernel, options)
+            except CompilerError:
+                pass
+    elapsed = time.perf_counter() - start
+    return task, elapsed, GLOBAL_CACHE.stats.since(before)
+
+
+def _run_sim_task(task: KernelTask):
+    """Time one kernel×config; returns a kernel-stripped result."""
+    start = time.perf_counter()
+    before = GLOBAL_CACHE.stats.snapshot()
+    kernel = _task_kernel(task)
+    result = run_kernel(kernel, task.config, GLOBAL_CACHE)
+    # Kernels carry closure-based image factories that cannot be
+    # pickled back; the parent reattaches its own Kernel object.
+    result.kernel = None
+    elapsed = time.perf_counter() - start
+    return task, result, elapsed, GLOBAL_CACHE.stats.since(before)
+
+
+# -- orchestration ----------------------------------------------------------
+
+
+def _options_key_of(kernel, config: EvalConfig):
+    from repro.experiments.runner import _options_key
+
+    return _options_key(_compiler_options_for(kernel, config))
+
+
+def run_sweep(
+    benchmark_names: list[str],
+    scale: float,
+    configs: list[EvalConfig],
+    jobs: int | None = None,
+    kernel_names: dict[str, list[str]] | None = None,
+) -> SweepResult:
+    """Run every kernel of every benchmark under every configuration.
+
+    ``kernel_names`` optionally restricts each benchmark to a subset of
+    kernels (e.g. Figure 3 times a single kernel).  Results are keyed
+    by (benchmark, kernel, config index), so configurations may share
+    display names (the Figure 18 RFQ sweep reuses ``WASP_GPU``).
+    """
+    jobs = resolve_jobs(jobs)
+    benchmarks = {
+        name: get_benchmark(name, scale) for name in benchmark_names
+    }
+    tasks: list[KernelTask] = []
+    for name, bench in benchmarks.items():
+        wanted = None if kernel_names is None else kernel_names.get(name)
+        for kernel in bench.kernels:
+            if wanted is not None and kernel.name not in wanted:
+                continue
+            for idx, config in enumerate(configs):
+                tasks.append(
+                    KernelTask(
+                        benchmark=name,
+                        scale=scale,
+                        kernel=kernel.name,
+                        config=config,
+                        config_index=idx,
+                    )
+                )
+
+    start = time.perf_counter()
+    report = SweepReport(jobs=jobs, num_tasks=len(tasks))
+    results: dict[tuple[str, str, int], KernelResult] = {}
+    if jobs == 1:
+        _run_serial(tasks, benchmarks, results, report)
+    else:
+        _run_parallel(tasks, benchmarks, results, report, jobs)
+    report.wall_seconds = time.perf_counter() - start
+    _record_report(report)
+    return SweepResult(benchmarks, configs, results, report)
+
+
+def _run_serial(tasks, benchmarks, results, report) -> None:
+    for task in tasks:
+        kernel = benchmarks[task.benchmark].kernel(task.kernel)
+        before = GLOBAL_CACHE.stats.snapshot()
+        start = time.perf_counter()
+        result = run_kernel(kernel, task.config, GLOBAL_CACHE)
+        elapsed = time.perf_counter() - start
+        report.stats.merge(GLOBAL_CACHE.stats.since(before))
+        report.worker_seconds += elapsed
+        report.timings.append(
+            TaskTiming(
+                benchmark=task.benchmark,
+                kernel=task.kernel,
+                config_name=task.config.name,
+                phase="simulate",
+                seconds=elapsed,
+            )
+        )
+        results[(task.benchmark, task.kernel, task.config_index)] = result
+
+
+def _run_parallel(tasks, benchmarks, results, report, jobs) -> None:
+    store = GLOBAL_CACHE.store
+    cache_dir = str(store.cache_dir) if store is not None else None
+    enabled = store is not None
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_worker_init,
+        initargs=(cache_dir, enabled),
+    ) as pool:
+        if enabled:
+            _warm_phase(pool, tasks, benchmarks, report)
+        for task, result, elapsed, stats in pool.map(
+            _run_sim_task, tasks, chunksize=1
+        ):
+            result.kernel = benchmarks[task.benchmark].kernel(task.kernel)
+            report.stats.merge(stats)
+            report.worker_seconds += elapsed
+            report.timings.append(
+                TaskTiming(
+                    benchmark=task.benchmark,
+                    kernel=task.kernel,
+                    config_name=task.config.name,
+                    phase="simulate",
+                    seconds=elapsed,
+                )
+            )
+            results[(task.benchmark, task.kernel, task.config_index)] = result
+
+
+def _warm_phase(pool, tasks, benchmarks, report) -> None:
+    """Generate each unique (kernel, options) trace once across the pool.
+
+    Two waves: plain-kernel traces (which every ``run_kernel`` call
+    needs) first, then warp-specialized ones.  Each wave is deduplicated
+    on (kernel content digest, options key), so no two workers ever
+    generate the same trace concurrently.
+    """
+    originals: dict[str, tuple[KernelTask, str]] = {}
+    specialized: dict[tuple, tuple[KernelTask, str]] = {}
+    for task in tasks:
+        kernel = benchmarks[task.benchmark].kernel(task.kernel)
+        digest = kernel.content_digest()
+        originals.setdefault(digest, (task, "original"))
+        okey = _options_key_of(kernel, task.config)
+        if okey is not None:
+            specialized.setdefault((digest, okey), (task, "specialized"))
+    for wave in (list(originals.values()), list(specialized.values())):
+        for task, elapsed, stats in pool.map(
+            _run_warm_task, wave, chunksize=1
+        ):
+            report.stats.merge(stats)
+            report.worker_seconds += elapsed
+            report.timings.append(
+                TaskTiming(
+                    benchmark=task.benchmark,
+                    kernel=task.kernel,
+                    config_name=task.config.name,
+                    phase="warm",
+                    seconds=elapsed,
+                )
+            )

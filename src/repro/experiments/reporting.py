@@ -42,3 +42,29 @@ def _fmt(cell: object) -> str:
     if isinstance(cell, float):
         return f"{cell:.2f}"
     return str(cell)
+
+
+def format_cache_report(report) -> str:
+    """Render a ``SweepReport`` as a short cache/timing summary.
+
+    Takes the report duck-typed (rather than importing SweepReport) so
+    this module stays import-light for the table/figure renderers.
+    """
+    stats = report.stats
+    lines = [
+        f"jobs={report.jobs}  tasks={report.num_tasks}  "
+        f"wall={report.wall_seconds:.1f}s  "
+        f"worker={report.worker_seconds:.1f}s",
+        f"trace cache: {stats.memory_hits} memory hits, "
+        f"{stats.disk_hits} disk hits, "
+        f"{stats.generations} generations, "
+        f"{stats.disk_writes} disk writes",
+    ]
+    slowest = report.slowest_tasks(3)
+    if slowest:
+        parts = ", ".join(
+            f"{t.benchmark}/{t.kernel}[{t.config_name}] {t.seconds:.1f}s"
+            for t in slowest
+        )
+        lines.append(f"slowest: {parts}")
+    return "\n".join(lines)

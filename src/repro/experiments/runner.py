@@ -5,10 +5,18 @@ are cached per (kernel, compiler options); timing replays are cheap and
 run per GPU configuration.  Per-kernel opt-in mirrors the paper: the
 specialized version is used only where it beats the unspecialized
 kernel on the same hardware.
+
+Cache entries are **content-addressed**: the key is a SHA-256 over the
+kernel's canonical IR encoding, launch geometry, initial memory image
+and the compiler-option tuple (see :meth:`Kernel.content_digest`), so
+structurally identical kernels share an entry regardless of object
+identity, and entries persist across processes through the on-disk
+:class:`~repro.fexec.trace_store.TraceStore`.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 
 from repro.core.compiler import (
@@ -19,7 +27,8 @@ from repro.core.compiler import (
 from repro.errors import CompilerError, ResourceError
 from repro.experiments.configs import EvalConfig
 from repro.fexec.machine import run_kernel as run_functional
-from repro.fexec.trace import KernelTrace
+from repro.fexec.trace import TRACE_FORMAT_VERSION, KernelTrace
+from repro.fexec.trace_store import TraceStore
 from repro.sim.config import GPUConfig
 from repro.sim.gpu import SimResult, simulate_kernel
 from repro.workloads.base import Benchmark, Kernel
@@ -31,6 +40,7 @@ _OPT_KEY_FIELDS = (
     "double_buffering",
     "max_stages",
     "queue_size",
+    "smem_capacity_words",
 )
 
 
@@ -41,16 +51,72 @@ def _options_key(options: WaspCompilerOptions | None):
 
 
 @dataclass
+class CacheStats:
+    """Hit/miss counters for one :class:`TraceCache`.
+
+    ``generations`` counts *functional trace generations* — the
+    expensive operation everything else exists to avoid.  Compiling a
+    kernel that turns out not to specialize does not count.
+    """
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    generations: int = 0
+    disk_writes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.memory_hits + self.disk_hits + self.generations
+
+    def snapshot(self) -> "CacheStats":
+        return replace(self)
+
+    def since(self, before: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            memory_hits=self.memory_hits - before.memory_hits,
+            disk_hits=self.disk_hits - before.disk_hits,
+            generations=self.generations - before.generations,
+            disk_writes=self.disk_writes - before.disk_writes,
+        )
+
+    def merge(self, other: "CacheStats") -> None:
+        self.memory_hits += other.memory_hits
+        self.disk_hits += other.disk_hits
+        self.generations += other.generations
+        self.disk_writes += other.disk_writes
+
+
+@dataclass
 class _TraceEntry:
     traces: list[KernelTrace]
     compile_result: CompileResult | None
 
 
 class TraceCache:
-    """Caches functional traces per (kernel, compiler options)."""
+    """Two-tier (memory + optional disk) functional-trace cache.
 
-    def __init__(self) -> None:
-        self._entries: dict[tuple[int, object], _TraceEntry] = {}
+    The in-memory tier maps content keys to live entries within one
+    process; the optional :class:`TraceStore` tier shares traces across
+    processes and runs.  ``TraceCache()`` with no store is purely
+    in-memory (what unit tests want); the shared :data:`GLOBAL_CACHE`
+    is backed by the environment-configured store.
+    """
+
+    def __init__(self, store: TraceStore | None = None) -> None:
+        self._entries: dict[str, _TraceEntry] = {}
+        self.store = store
+        self.stats = CacheStats()
+
+    def key_for(
+        self, kernel: Kernel, options: WaspCompilerOptions | None
+    ) -> str:
+        """Content-addressed cache key for (kernel, options)."""
+        text = (
+            f"{kernel.content_digest()}"
+            f"|opts={_options_key(options)!r}"
+            f"|format={TRACE_FORMAT_VERSION}"
+        )
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
     def original(self, kernel: Kernel) -> _TraceEntry:
         return self._get(kernel, None)
@@ -68,41 +134,112 @@ class TraceCache:
     def _get(
         self, kernel: Kernel, options: WaspCompilerOptions | None
     ) -> _TraceEntry:
-        key = (id(kernel), _options_key(options))
+        key = self.key_for(kernel, options)
         entry = self._entries.get(key)
         if entry is not None:
+            self.stats.memory_hits += 1
             return entry
+        entry = self._load(key, kernel, options)
+        if entry is None:
+            entry = self._generate(key, kernel, options)
+        self._entries[key] = entry
+        return entry
+
+    def _load(
+        self, key: str, kernel: Kernel, options: WaspCompilerOptions | None
+    ) -> _TraceEntry | None:
+        """Rebuild an entry from the disk tier, or ``None`` on miss.
+
+        For specialized entries the (cheap) compilation is re-run to
+        reconstruct the :class:`CompileResult`; only the expensive
+        functional execution is skipped.  A disagreement between the
+        stored metadata and the recompile — the compiler changed under
+        a stale cache — falls through to regeneration.
+        """
+        if self.store is None:
+            return None
+        payload = self.store.load(key)
+        if payload is None:
+            return None
+        if options is None:
+            if not payload["traces"]:
+                return None
+            self.stats.disk_hits += 1
+            return _TraceEntry(traces=payload["traces"], compile_result=None)
+        compiler = WaspCompiler(options)
+        result = compiler.compile(
+            kernel.program, num_warps=kernel.launch.num_warps
+        )
+        if not result.specialized:
+            return None
+        if payload.get("num_stages") != result.num_stages:
+            return None
+        self.stats.disk_hits += 1
+        return _TraceEntry(traces=payload["traces"], compile_result=result)
+
+    def _generate(
+        self, key: str, kernel: Kernel, options: WaspCompilerOptions | None
+    ) -> _TraceEntry:
         if options is None:
             traces = run_functional(
                 kernel.program, kernel.image_factory(), kernel.launch
             ).traces
+            self.stats.generations += 1
             entry = _TraceEntry(traces=traces, compile_result=None)
-        else:
-            compiler = WaspCompiler(options)
-            result = compiler.compile(
-                kernel.program, num_warps=kernel.launch.num_warps
+            self._persist(key, entry)
+            return entry
+        compiler = WaspCompiler(options)
+        result = compiler.compile(
+            kernel.program, num_warps=kernel.launch.num_warps
+        )
+        if result.specialized:
+            launch = replace(
+                kernel.launch,
+                num_warps=kernel.launch.num_warps * result.num_stages,
             )
-            if result.specialized:
-                launch = replace(
-                    kernel.launch,
-                    num_warps=kernel.launch.num_warps * result.num_stages,
-                )
-                traces = run_functional(
-                    result.program, kernel.image_factory(), launch
-                ).traces
-            else:
-                traces = []
+            traces = run_functional(
+                result.program, kernel.image_factory(), launch
+            ).traces
+            self.stats.generations += 1
             entry = _TraceEntry(traces=traces, compile_result=result)
-        self._entries[key] = entry
+            self._persist(key, entry, num_stages=result.num_stages)
+        else:
+            # Nothing expensive to persist: rediscovering "does not
+            # specialize" is a compile, not a functional run.
+            entry = _TraceEntry(traces=[], compile_result=result)
         return entry
 
+    def _persist(self, key: str, entry: _TraceEntry, **meta) -> None:
+        if self.store is None or not entry.traces:
+            return
+        if self.store.save(key, entry.traces, **meta):
+            self.stats.disk_writes += 1
 
-_GLOBAL_CACHE = TraceCache()
 
-# Public shared cache: experiment modules and benches reuse functional
-# traces across figures (kernels are keyed by object identity, so
-# different scales never collide).
+_GLOBAL_CACHE = TraceCache(store=TraceStore.from_env())
+
+# Public shared cache: experiment modules, benches and parallel workers
+# reuse functional traces across figures and — through the persistent
+# store — across processes.
 GLOBAL_CACHE = _GLOBAL_CACHE
+
+
+def configure_global_cache(
+    cache_dir: str | None = None, enabled: bool = True
+) -> TraceCache:
+    """Point :data:`GLOBAL_CACHE` at a different disk tier (or none).
+
+    Used by the CLI's ``--cache-dir`` / ``--no-cache`` flags; parallel
+    workers inherit the same configuration through the pool
+    initializer.
+    """
+    if not enabled:
+        GLOBAL_CACHE.store = None
+    elif cache_dir is not None:
+        GLOBAL_CACHE.store = TraceStore(cache_dir)
+    else:
+        GLOBAL_CACHE.store = TraceStore.from_env()
+    return GLOBAL_CACHE
 
 
 @dataclass

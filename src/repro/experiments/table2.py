@@ -6,7 +6,7 @@ import statistics
 from dataclasses import dataclass, field
 
 from repro.experiments.configs import baseline_config, wasp_gpu_config
-from repro.experiments.runner import GLOBAL_CACHE, run_kernel
+from repro.experiments.parallel import run_sweep
 from repro.experiments.reporting import format_table
 from repro.workloads import all_benchmarks, get_benchmark
 
@@ -41,18 +41,23 @@ class Table2Result:
         )
 
 
-def run(scale: float = 1.0, benchmarks: list[str] | None = None) -> Table2Result:
+def run(
+    scale: float = 1.0,
+    benchmarks: list[str] | None = None,
+    jobs: int | None = None,
+) -> Table2Result:
     """Regenerate Table II's speedup columns."""
-    cache = GLOBAL_CACHE
-    base_cfg = baseline_config()
-    wasp_cfg = wasp_gpu_config()
+    names = list(benchmarks or all_benchmarks())
+    sweep = run_sweep(
+        names, scale, [baseline_config(), wasp_gpu_config()], jobs=jobs
+    )
     result = Table2Result()
-    for name in benchmarks or all_benchmarks():
+    for name in names:
         benchmark = get_benchmark(name, scale)
         speedups = []
         for kernel in benchmark.kernels:
-            base = run_kernel(kernel, base_cfg, cache)
-            wasp = run_kernel(kernel, wasp_cfg, cache)
+            base = sweep.kernel_result(name, kernel.name, 0)
+            wasp = sweep.kernel_result(name, kernel.name, 1)
             speedups.append(base.cycles / wasp.cycles)
         result.rows.append(
             Table2Row(

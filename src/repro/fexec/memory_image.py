@@ -8,6 +8,8 @@ and integer indices (exact up to 2^53) without a tag bit per word.
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import ExecutionError
@@ -112,6 +114,22 @@ class MemoryImage:
     def snapshot(self) -> np.ndarray:
         """Copy of the full word array (for equivalence checks)."""
         return self._words.copy()
+
+    def content_digest(self) -> str:
+        """SHA-256 over the allocated prefix and the allocation table.
+
+        Two images with identical allocations and identical initial
+        contents hash identically regardless of total capacity, so the
+        digest can serve as the memory-image component of a
+        content-addressed trace-cache key.
+        """
+        h = hashlib.sha256()
+        for name in sorted(self._arrays):
+            base, length = self._arrays[name]
+            h.update(f"{name}:{base}:{length};".encode("utf-8"))
+        h.update(f"used={self._next_free};".encode("utf-8"))
+        h.update(np.ascontiguousarray(self._words[: self._next_free]).tobytes())
+        return h.hexdigest()
 
 
 def sectors_of(addresses: np.ndarray) -> tuple[int, ...]:

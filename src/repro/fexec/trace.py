@@ -109,3 +109,178 @@ class KernelTrace:
 
     def stage_ids(self) -> list[int]:
         return sorted({w.pipe_stage_id for w in self.warps})
+
+
+# -- serialization ----------------------------------------------------------
+#
+# Traces persist across processes in the content-addressed cache
+# (``repro.fexec.trace_store``).  The format is deliberately primitive —
+# JSON-compatible lists/dicts with enums stored by value — so payloads
+# stay readable and survive refactors of the dataclasses above.  Bump
+# ``TRACE_FORMAT_VERSION`` whenever the encoding (or the semantics of
+# trace generation) changes; stale files are then regenerated instead of
+# misread.
+
+TRACE_FORMAT_VERSION = 1
+
+
+def encode_traces(traces: list[KernelTrace]) -> list[dict]:
+    """Encode kernel traces as JSON-compatible primitives."""
+    return [_encode_kernel_trace(t) for t in traces]
+
+
+def decode_traces(payload: list[dict]) -> list[KernelTrace]:
+    """Rebuild kernel traces from :func:`encode_traces` output.
+
+    Raises ``KeyError``/``ValueError``/``TypeError`` on malformed
+    payloads; callers treat any failure as a cache miss.
+    """
+    return [_decode_kernel_trace(t) for t in payload]
+
+
+def _encode_kernel_trace(trace: KernelTrace) -> dict:
+    return {
+        "kernel_name": trace.kernel_name,
+        "num_warps": trace.num_warps,
+        "warp_width": trace.warp_width,
+        "warps": [
+            {
+                "warp_id": w.warp_id,
+                "pipe_stage_id": w.pipe_stage_id,
+                "instrs": [_encode_instr(i) for i in w.instrs],
+            }
+            for w in trace.warps
+        ],
+        "queue_lengths": {str(k): v for k, v in trace.queue_lengths.items()},
+        "barrier_arrivals": dict(trace.barrier_arrivals),
+        "tb_spec": _encode_tb_spec(trace.tb_spec),
+        "program_registers": trace.program_registers,
+        "smem_words": trace.smem_words,
+    }
+
+
+def _decode_kernel_trace(data: dict) -> KernelTrace:
+    return KernelTrace(
+        kernel_name=data["kernel_name"],
+        num_warps=data["num_warps"],
+        warp_width=data["warp_width"],
+        warps=[
+            WarpTrace(
+                warp_id=w["warp_id"],
+                pipe_stage_id=w["pipe_stage_id"],
+                instrs=[_decode_instr(i) for i in w["instrs"]],
+            )
+            for w in data["warps"]
+        ],
+        queue_lengths={int(k): v for k, v in data["queue_lengths"].items()},
+        barrier_arrivals=dict(data["barrier_arrivals"]),
+        tb_spec=_decode_tb_spec(data["tb_spec"]),
+        program_registers=data["program_registers"],
+        smem_words=data["smem_words"],
+    )
+
+
+def _encode_instr(instr: DynamicInstr) -> list:
+    # Positional encoding keeps large payloads compact.
+    return [
+        instr.opcode.value,
+        instr.unit.value,
+        instr.category.value,
+        list(instr.dst_regs),
+        list(instr.src_regs),
+        instr.queue_push,
+        instr.queue_pop,
+        instr.barrier_id,
+        list(instr.sectors),
+        int(instr.is_store),
+        instr.smem_words,
+        _encode_tma_job(instr.tma_job),
+    ]
+
+
+def _decode_instr(data: list) -> DynamicInstr:
+    (opcode, unit, category, dst_regs, src_regs, queue_push, queue_pop,
+     barrier_id, sectors, is_store, smem_words, tma_job) = data
+    return DynamicInstr(
+        opcode=Opcode(opcode),
+        unit=FuncUnit(unit),
+        category=InstrCategory(category),
+        dst_regs=tuple(dst_regs),
+        src_regs=tuple(src_regs),
+        queue_push=queue_push,
+        queue_pop=queue_pop,
+        barrier_id=barrier_id,
+        sectors=tuple(sectors),
+        is_store=bool(is_store),
+        smem_words=smem_words,
+        tma_job=_decode_tma_job(tma_job),
+    )
+
+
+_TMA_SECTOR_KEYS = ("vector_sectors", "data_vector_sectors")
+
+
+def _encode_tma_job(job: dict[str, Any] | None) -> dict | None:
+    if job is None:
+        return None
+    encoded = dict(job)
+    for key in _TMA_SECTOR_KEYS:
+        if key in encoded:
+            encoded[key] = [list(v) for v in encoded[key]]
+    return encoded
+
+
+def _decode_tma_job(job: dict | None) -> dict[str, Any] | None:
+    if job is None:
+        return None
+    decoded = dict(job)
+    for key in _TMA_SECTOR_KEYS:
+        if key in decoded:
+            decoded[key] = [tuple(v) for v in decoded[key]]
+    return decoded
+
+
+def _encode_tb_spec(spec) -> dict | None:
+    if spec is None:
+        return None
+    return {
+        "num_stages": spec.num_stages,
+        "warps_per_stage": [list(ws) for ws in spec.warps_per_stage],
+        "stage_registers": list(spec.stage_registers),
+        "queues": [
+            {
+                "queue_id": q.queue_id,
+                "src_stage": q.src_stage,
+                "dst_stage": q.dst_stage,
+                "size": q.size,
+            }
+            for q in spec.queues
+        ],
+        "smem_words": spec.smem_words,
+        "barrier_expected": dict(spec.barrier_expected),
+        "barrier_initial": dict(spec.barrier_initial),
+    }
+
+
+def _decode_tb_spec(data: dict | None):
+    if data is None:
+        return None
+    from repro.core.specs import NamedQueueSpec, ThreadBlockSpec
+
+    return ThreadBlockSpec(
+        num_stages=data["num_stages"],
+        warps_per_stage=[list(ws) for ws in data["warps_per_stage"]],
+        stage_registers=list(data["stage_registers"]),
+        queues=[
+            NamedQueueSpec(
+                queue_id=q["queue_id"],
+                src_stage=q["src_stage"],
+                dst_stage=q["dst_stage"],
+                size=q["size"],
+            )
+            for q in data["queues"]
+        ],
+        smem_words=data["smem_words"],
+        barrier_expected=dict(data["barrier_expected"]),
+        barrier_initial=dict(data["barrier_initial"]),
+    )

@@ -1,0 +1,144 @@
+"""Persistent content-addressed store for functional traces.
+
+Functional trace generation dominates the cost of every figure
+reproduction, and the traces themselves are pure functions of (program,
+launch, initial memory image, compiler options).  This module persists
+them on disk under their content hash so they survive across processes:
+benchmark files, CI jobs and CLI invocations all reuse one another's
+work, and the cache directory can be shipped as a CI artifact.
+
+Layout: one gzip-compressed JSON file per entry,
+``<cache_dir>/<digest>.json.gz``, wrapped in a versioned envelope.  Any
+read failure — missing file, corrupt gzip/JSON, format-version or key
+mismatch — is treated as a miss so a bad cache can only cost time,
+never correctness.
+
+Environment knobs:
+
+``REPRO_CACHE_DIR``
+    Cache directory (default ``.repro_cache`` in the working directory).
+``REPRO_CACHE``
+    Set to ``0``/``off``/``false`` to disable persistence entirely.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import tempfile
+from pathlib import Path
+
+from repro.fexec.trace import (
+    TRACE_FORMAT_VERSION,
+    KernelTrace,
+    decode_traces,
+    encode_traces,
+)
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+_DISABLE_VALUES = {"0", "off", "false", "no"}
+
+
+def cache_enabled() -> bool:
+    """Whether the persistent cache is enabled by the environment."""
+    return os.environ.get("REPRO_CACHE", "1").lower() not in _DISABLE_VALUES
+
+
+def default_cache_dir() -> Path:
+    return Path(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+class TraceStore:
+    """One directory of content-addressed trace files."""
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir else default_cache_dir()
+
+    @classmethod
+    def from_env(cls) -> "TraceStore | None":
+        """The environment-configured store, or ``None`` if disabled."""
+        if not cache_enabled():
+            return None
+        return cls(default_cache_dir())
+
+    def _path(self, key: str) -> Path:
+        return self.cache_dir / f"{key}.json.gz"
+
+    # -- read/write ---------------------------------------------------------
+
+    def load(self, key: str) -> dict | None:
+        """The stored entry for ``key``, or ``None`` on any failure.
+
+        Returns the payload dict with ``traces`` already decoded to
+        :class:`KernelTrace` objects.
+        """
+        path = self._path(key)
+        try:
+            with gzip.open(path, "rt", encoding="utf-8") as fh:
+                envelope = json.load(fh)
+            if not isinstance(envelope, dict):
+                return None
+            if envelope.get("format") != TRACE_FORMAT_VERSION:
+                return None
+            if envelope.get("key") != key:
+                return None
+            payload = dict(envelope.get("payload") or {})
+            payload["traces"] = decode_traces(payload.get("traces") or [])
+            return payload
+        except (OSError, EOFError, ValueError, KeyError, TypeError):
+            return None
+
+    def save(self, key: str, traces: list[KernelTrace], **meta) -> bool:
+        """Persist ``traces`` (plus ``meta``) under ``key``.
+
+        The write is atomic (temp file + rename) so concurrent workers
+        racing on the same key leave a complete file either way.
+        Returns ``False`` if the entry could not be written.
+        """
+        envelope = {
+            "format": TRACE_FORMAT_VERSION,
+            "key": key,
+            "payload": {"traces": encode_traces(traces), **meta},
+        }
+        try:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.cache_dir, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as raw:
+                    with gzip.open(raw, "wt", encoding="utf-8") as fh:
+                        json.dump(envelope, fh, separators=(",", ":"))
+                os.replace(tmp_name, self._path(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            return True
+        except OSError:
+            return False
+
+    # -- maintenance --------------------------------------------------------
+
+    def contains(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def entry_count(self) -> int:
+        if not self.cache_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*.json.gz"))
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.cache_dir.is_dir():
+            for path in self.cache_dir.glob("*.json.gz"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -8,46 +8,17 @@ memory side effects) and then replays the traces on the timing model;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.fexec.launch import LaunchConfig
 from repro.fexec.machine import run_kernel
 from repro.fexec.memory_image import MemoryImage
 from repro.fexec.trace import KernelTrace
-from repro.isa.opcodes import InstrCategory
 from repro.isa.program import Program
 from repro.sim.config import GPUConfig
 from repro.sim.occupancy import Occupancy
-from repro.sim.results import TIMELINE_BUCKET, SMStats
+from repro.sim.results import TIMELINE_BUCKET, SimResult, SMStats
 from repro.sim.sm import SMSimulator
 
-
-@dataclass
-class SimResult:
-    """Outcome of timing one kernel on one GPU configuration."""
-
-    kernel_name: str
-    cycles: float
-    issued_total: int
-    issued_by_category: dict[InstrCategory, int]
-    issued_by_stage: dict[int, int]
-    queue_overhead_instrs: int
-    l2_utilization: float
-    dram_utilization: float
-    smem_utilization: float
-    l1_hit_rate: float
-    occupancy: Occupancy
-    timeline: list[tuple[float, float, float]] = field(default_factory=list)
-    tbs_completed: int = 0
-
-    @property
-    def dynamic_instructions(self) -> int:
-        return self.issued_total
-
-    def category_fraction(self, category: InstrCategory) -> float:
-        if not self.issued_total:
-            return 0.0
-        return self.issued_by_category.get(category, 0) / self.issued_total
+__all__ = ["SimResult", "simulate_kernel", "simulate_program"]
 
 
 def simulate_kernel(

@@ -1,10 +1,17 @@
-"""Simulation result containers."""
+"""Simulation result containers.
+
+Everything here is plain data: results cross process boundaries in the
+parallel experiment runner (pickled back from pool workers), so the
+containers hold only builtins, enums and other dataclasses — no live
+simulator state.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
 from repro.isa.opcodes import InstrCategory
+from repro.sim.occupancy import Occupancy
 
 TIMELINE_BUCKET = 256  # cycles per utilization-timeline bucket (Figure 3)
 
@@ -50,3 +57,31 @@ class SMStats:
             int(time) // TIMELINE_BUCKET, TimelineBucket()
         )
         bucket.sectors += count
+
+
+@dataclass
+class SimResult:
+    """Outcome of timing one kernel on one GPU configuration."""
+
+    kernel_name: str
+    cycles: float
+    issued_total: int
+    issued_by_category: dict[InstrCategory, int]
+    issued_by_stage: dict[int, int]
+    queue_overhead_instrs: int
+    l2_utilization: float
+    dram_utilization: float
+    smem_utilization: float
+    l1_hit_rate: float
+    occupancy: Occupancy
+    timeline: list[tuple[float, float, float]] = field(default_factory=list)
+    tbs_completed: int = 0
+
+    @property
+    def dynamic_instructions(self) -> int:
+        return self.issued_total
+
+    def category_fraction(self, category: InstrCategory) -> float:
+        if not self.issued_total:
+            return 0.0
+        return self.issued_by_category.get(category, 0) / self.issued_total

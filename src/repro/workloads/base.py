@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -34,6 +35,30 @@ class Kernel:
     launch: LaunchConfig
     weight: float = 1.0
     is_gemm: bool = False
+
+    def content_digest(self) -> str:
+        """Stable content hash of everything trace generation depends on.
+
+        Combines the program's canonical encoding, the launch geometry
+        and the initial memory image, so structurally identical kernels
+        hash identically across objects and processes.  Programs and
+        image factories are treated as immutable once the kernel is
+        built (the compiler clones before transforming), so the digest
+        is memoized per instance.
+        """
+        cached = self.__dict__.get("_content_digest")
+        if cached is None:
+            h = hashlib.sha256()
+            h.update(self.program.canonical_encoding().encode("utf-8"))
+            h.update(
+                f"|launch:{self.launch.num_warps}:{self.launch.warp_width}"
+                f":{self.launch.num_thread_blocks}".encode("utf-8")
+            )
+            h.update(f"|image:{self.image_factory().content_digest()}"
+                     .encode("utf-8"))
+            cached = h.hexdigest()
+            self.__dict__["_content_digest"] = cached
+        return cached
 
 
 @dataclass

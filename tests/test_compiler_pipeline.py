@@ -2,13 +2,11 @@
 plus functional equivalence of the specialized programs."""
 
 import numpy as np
-import pytest
 
 from repro.core.compiler import WaspCompiler, WaspCompilerOptions
-from repro.fexec import LaunchConfig, run_kernel
-from repro.isa import Opcode, ProgramBuilder, QueueRef
+from repro.fexec import run_kernel
+from repro.isa import Opcode, ProgramBuilder
 from repro.isa.operands import SpecialReg, SpecialRegister
-from tests.conftest import WIDTH
 
 
 def _specialized_launch(launch, result):

@@ -1,6 +1,5 @@
 """Per-kernel RFQ auto-tuning extension."""
 
-import pytest
 
 from repro.experiments import autotune
 

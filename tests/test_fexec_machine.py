@@ -6,7 +6,7 @@ import pytest
 from repro.errors import DeadlockError, ExecutionError
 from repro.fexec import LaunchConfig, MemoryImage, run_kernel
 from repro.isa import Opcode, ProgramBuilder, QueueRef, SpecialReg
-from tests.conftest import WIDTH, run_and_read
+from tests.conftest import run_and_read
 
 
 def _run_single(builder_fn, *, num_warps=1, width=4, mem_words=1 << 10):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import IsaError
-from repro.isa import Opcode, ProgramBuilder, QueueRef, Register
+from repro.isa import Opcode, ProgramBuilder, QueueRef
 
 
 def test_fresh_registers_are_distinct():

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import ValidationError
-from repro.isa import Instruction, Opcode, Predicate, ProgramBuilder, Register
+from repro.isa import Instruction, Opcode, ProgramBuilder
 from repro.isa.program import Program
 
 

@@ -5,7 +5,7 @@ from dataclasses import replace
 
 from repro.core.specs import NamedQueueSpec, ThreadBlockSpec
 from repro.errors import ResourceError
-from repro.sim.config import GPUConfig, QueueImpl, WaspFeatures
+from repro.sim.config import GPUConfig, QueueImpl
 from repro.sim.occupancy import compute_occupancy
 
 

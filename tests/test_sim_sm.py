@@ -1,14 +1,11 @@
 """SM core loop: issue, latency exposure, overlap, policies, TMA."""
 
-import numpy as np
-import pytest
 from dataclasses import replace
 
 from repro.core.compiler import WaspCompiler, WaspCompilerOptions
-from repro.fexec import LaunchConfig, run_kernel
+from repro.fexec import run_kernel
 from repro.sim import simulate_kernel
 from repro.sim.config import (
-    GPUConfig,
     QueueImpl,
     SchedulingPolicy,
     WaspFeatures,
