@@ -6,12 +6,15 @@ Examples::
     python -m repro fig14 --scale 0.5 --jobs 4
     python -m repro table2 --benchmarks pointnet lonestar_bfs
     python -m repro fig18 --scale 0.25 --no-cache
+    python -m repro profile gemm --trace-out trace.json
+    python -m repro fig14 --profile --trace-out fig14.json
 """
 
 from __future__ import annotations
 
 import argparse
 import importlib
+import json
 import sys
 import time
 
@@ -30,6 +33,22 @@ _ARTIFACTS = {
 }
 
 
+def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="trace cache directory (default: REPRO_CACHE_DIR or "
+             ".repro_cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the persistent on-disk trace cache",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="delete all persisted trace cache entries before running",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -39,7 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "artifact",
         choices=sorted(_ARTIFACTS) + ["list", "all"],
-        help="which artifact to regenerate ('list' shows descriptions)",
+        help="which artifact to regenerate ('list' shows descriptions; "
+             "see also the 'profile' subcommand)",
     )
     parser.add_argument(
         "--scale", type=float, default=0.5,
@@ -54,19 +74,161 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (default: REPRO_JOBS or 1)",
     )
     parser.add_argument(
-        "--cache-dir", default=None,
-        help="trace cache directory (default: REPRO_CACHE_DIR or "
-             ".repro_cache)",
+        "--profile", action="store_true",
+        help="print the sweep's aggregate stall-cause breakdown",
     )
     parser.add_argument(
-        "--no-cache", action="store_true",
-        help="disable the persistent on-disk trace cache",
+        "--profile-json", default=None, metavar="PATH",
+        help="write the sweep's stall/cache statistics as JSON",
     )
     parser.add_argument(
-        "--clear-cache", action="store_true",
-        help="delete all persisted trace cache entries before running",
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace of a representative workload (the "
+             "sweep's first benchmark under WASP_GPU) for Perfetto",
     )
+    _add_cache_flags(parser)
     return parser
+
+
+def build_profile_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Profile one workload's pipeline: stall-cause "
+                    "attribution, queue occupancy, and an optional "
+                    "Chrome trace for Perfetto.",
+    )
+    parser.add_argument(
+        "benchmark",
+        help="registered benchmark name (see 'repro list' artifacts, "
+             "e.g. pointnet, gemm, spmv1_g3)",
+    )
+    parser.add_argument(
+        "--kernel", default=None,
+        help="kernel within the benchmark (default: every kernel)",
+    )
+    parser.add_argument(
+        "--config", default="WASP_GPU",
+        help="evaluation configuration name (default: WASP_GPU)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="workload scale factor (default 0.25: profiling favours "
+             "small runs)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON loadable in "
+             "https://ui.perfetto.dev",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the stall/queue profile as machine-readable JSON",
+    )
+    parser.add_argument(
+        "--trace-capacity", type=int, default=None,
+        help="event ring-buffer size (oldest events drop beyond this)",
+    )
+    _add_cache_flags(parser)
+    return parser
+
+
+def _configure_cache(args: argparse.Namespace) -> None:
+    from repro.experiments.runner import configure_global_cache
+    from repro.fexec.trace_store import TraceStore
+
+    if args.clear_cache:
+        store = TraceStore(args.cache_dir)
+        removed = store.clear()
+        print(
+            f"[cleared {removed} cached trace entries from "
+            f"{store.cache_dir}]"
+        )
+    configure_global_cache(
+        cache_dir=args.cache_dir, enabled=not args.no_cache
+    )
+
+
+def _named_config(name: str):
+    from repro.experiments.configs import standard_configs
+
+    for config in standard_configs():
+        if config.name == name:
+            return config
+    names = ", ".join(c.name for c in standard_configs())
+    raise SystemExit(f"unknown config {name!r}; choose from: {names}")
+
+
+def run_profile(argv: list[str]) -> int:
+    """``repro profile <benchmark>``: per-kernel pipeline profiles."""
+    args = build_profile_parser().parse_args(argv)
+    _configure_cache(args)
+
+    from repro.experiments.runner import GLOBAL_CACHE, profile_kernel
+    from repro.profiling import report as profreport
+    from repro.profiling.chrometrace import write_chrome_trace
+    from repro.workloads import get_benchmark
+
+    config = _named_config(args.config)
+    try:
+        bench = get_benchmark(args.benchmark, args.scale)
+    except KeyError:
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}")
+    kernels = bench.kernels
+    if args.kernel is not None:
+        kernels = [bench.kernel(args.kernel)]
+
+    before = GLOBAL_CACHE.stats.snapshot()
+    sections = []
+    docs = []
+    start = time.time()
+    for kernel in kernels:
+        result, profiler = profile_kernel(
+            kernel, config, trace_capacity=args.trace_capacity
+        )
+        label = f"{bench.name}/{kernel.name}"
+        title = (
+            f"Stall breakdown: {label} [{config.name}]"
+            + (" (specialized)" if result.used_specialized else "")
+        )
+        print(profreport.profile_text(result.sim, title=title))
+        if profiler.dropped_events:
+            print(
+                f"note: ring buffer dropped {profiler.dropped_events} "
+                f"of {profiler.events_recorded} trace events "
+                f"(raise --trace-capacity to keep more)"
+            )
+        print()
+        sections.append((label, profiler))
+        docs.append(
+            profreport.profile_json(result.sim, config_name=config.name)
+        )
+
+    cache_delta = GLOBAL_CACHE.stats.since(before)
+    if args.trace_out:
+        trace = write_chrome_trace(
+            args.trace_out, sections,
+            metadata={"benchmark": bench.name, "config": config.name,
+                      "scale": args.scale},
+        )
+        print(
+            f"[wrote {len(trace['traceEvents'])} trace events to "
+            f"{args.trace_out}; open in https://ui.perfetto.dev]"
+        )
+    if args.json_out:
+        doc = {
+            "schema": "repro-profile-report-v1",
+            "benchmark": bench.name,
+            "config": config.name,
+            "scale": args.scale,
+            "kernels": docs,
+            "trace_cache": profreport.cache_stats_json(cache_delta),
+        }
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2)
+        print(f"[wrote profile JSON to {args.json_out}]")
+    print(f"[profiled {len(kernels)} kernel(s) in "
+          f"{time.time() - start:.1f}s]")
+    return 0
 
 
 def _run_one(artifact: str, args: argparse.Namespace) -> None:
@@ -88,29 +250,66 @@ def _run_one(artifact: str, args: argparse.Namespace) -> None:
     report = last_report()
     if report is not None:
         print(format_cache_report(report))
+        if getattr(args, "profile", False):
+            from repro.profiling.report import sweep_stalls_text
+
+            print(sweep_stalls_text(report))
+        if getattr(args, "profile_json", None):
+            from repro.profiling.report import sweep_stalls_json
+
+            doc = sweep_stalls_json(report)
+            doc["artifact"] = artifact
+            with open(args.profile_json, "w", encoding="utf-8") as handle:
+                json.dump(doc, handle, indent=2)
+            print(f"[wrote sweep profile JSON to {args.profile_json}]")
+    if getattr(args, "trace_out", None):
+        _write_representative_trace(args)
+
+
+def _write_representative_trace(args: argparse.Namespace) -> None:
+    """``--trace-out`` on an artifact command: trace one workload.
+
+    Sweeps time dozens of kernel×config pairs unprofiled; a full trace
+    of all of them would be unreadable, so this profiles the sweep's
+    first benchmark (default: pointnet, the paper's Figure 3 subject)
+    under WASP_GPU at the same scale and writes that.
+    """
+    from repro.experiments.runner import profile_kernel
+    from repro.profiling.chrometrace import write_chrome_trace
+    from repro.workloads import get_benchmark
+
+    name = args.benchmarks[0] if args.benchmarks else "pointnet"
+    bench = get_benchmark(name, args.scale)
+    config = _named_config("WASP_GPU")
+    sections = []
+    for kernel in bench.kernels:
+        _result, profiler = profile_kernel(kernel, config)
+        sections.append((f"{bench.name}/{kernel.name}", profiler))
+    trace = write_chrome_trace(
+        args.trace_out, sections,
+        metadata={"benchmark": bench.name, "config": config.name,
+                  "scale": args.scale},
+    )
+    print(
+        f"[wrote {len(trace['traceEvents'])} trace events for "
+        f"{bench.name} to {args.trace_out}]"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "profile":
+        return run_profile(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(k) for k in _ARTIFACTS)
         for key in sorted(_ARTIFACTS):
             print(f"  {key.ljust(width)}  {_ARTIFACTS[key]}")
+        print("\n  profile   Pipeline profiler "
+              "(repro profile --help)")
         return 0
 
-    from repro.experiments.runner import configure_global_cache
-    from repro.fexec.trace_store import TraceStore
-
-    if args.clear_cache:
-        store = TraceStore(args.cache_dir)
-        removed = store.clear()
-        print(
-            f"[cleared {removed} cached trace entries from "
-            f"{store.cache_dir}]"
-        )
-    configure_global_cache(
-        cache_dir=args.cache_dir, enabled=not args.no_cache
-    )
+    _configure_cache(args)
 
     if args.artifact == "all":
         for key in sorted(_ARTIFACTS):

@@ -63,7 +63,14 @@ class TaskTiming:
 
 @dataclass
 class SweepReport:
-    """Per-sweep execution statistics: timing plus cache hit/miss."""
+    """Per-sweep execution statistics: timing, cache hit/miss, stalls.
+
+    Stall counters aggregate over every simulation the sweep ran
+    (including specialized variants that lost the opt-in), from results
+    assembled in the parent — so they are exact regardless of
+    ``--jobs``, just like the cache counters, which each worker
+    measures as a per-task delta for the parent to merge.
+    """
 
     jobs: int = 1
     num_tasks: int = 0
@@ -71,6 +78,10 @@ class SweepReport:
     worker_seconds: float = 0.0
     stats: CacheStats = field(default_factory=CacheStats)
     timings: list[TaskTiming] = field(default_factory=list)
+    #: (pipe stage, StallCause) -> stalled warp-cycles over all sims.
+    stall_cycles: dict = field(default_factory=dict)
+    issued_total: int = 0
+    active_warp_cycles: float = 0.0
 
     def merge(self, other: "SweepReport") -> None:
         self.jobs = max(self.jobs, other.jobs)
@@ -79,6 +90,21 @@ class SweepReport:
         self.worker_seconds += other.worker_seconds
         self.stats.merge(other.stats)
         self.timings.extend(other.timings)
+        for key, cycles in other.stall_cycles.items():
+            self.stall_cycles[key] = (
+                self.stall_cycles.get(key, 0.0) + cycles
+            )
+        self.issued_total += other.issued_total
+        self.active_warp_cycles += other.active_warp_cycles
+
+    def add_sim(self, sim) -> None:
+        """Fold one ``SimResult``'s stall attribution into the sweep."""
+        for key, cycles in sim.stall_cycles.items():
+            self.stall_cycles[key] = (
+                self.stall_cycles.get(key, 0.0) + cycles
+            )
+        self.issued_total += sim.issued_total
+        self.active_warp_cycles += sim.active_warp_cycles
 
     def slowest_tasks(self, count: int = 5) -> list[TaskTiming]:
         return sorted(
@@ -261,6 +287,7 @@ def _run_serial(tasks, benchmarks, results, report) -> None:
         elapsed = time.perf_counter() - start
         report.stats.merge(GLOBAL_CACHE.stats.since(before))
         report.worker_seconds += elapsed
+        report.add_sim(result.sim)
         report.timings.append(
             TaskTiming(
                 benchmark=task.benchmark,
@@ -290,6 +317,7 @@ def _run_parallel(tasks, benchmarks, results, report, jobs) -> None:
             result.kernel = benchmarks[task.benchmark].kernel(task.kernel)
             report.stats.merge(stats)
             report.worker_seconds += elapsed
+            report.add_sim(result.sim)
             report.timings.append(
                 TaskTiming(
                     benchmark=task.benchmark,

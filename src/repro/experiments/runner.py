@@ -24,7 +24,7 @@ from repro.core.compiler import (
     WaspCompiler,
     WaspCompilerOptions,
 )
-from repro.errors import CompilerError, ResourceError
+from repro.errors import CompilerError, ResourceError, SimulationError
 from repro.experiments.configs import EvalConfig
 from repro.fexec.machine import run_kernel as run_functional
 from repro.fexec.trace import TRACE_FORMAT_VERSION, KernelTrace
@@ -350,6 +350,47 @@ def run_kernel(
         compile_result=entry.compile_result if entry else None,
         fallback_sim=plain_sim,
     )
+
+
+def profile_kernel(
+    kernel: Kernel,
+    config: EvalConfig,
+    cache: TraceCache | None = None,
+    trace_capacity: int | None = None,
+) -> tuple[KernelResult, "PipelineProfiler"]:
+    """Time one kernel with full pipeline profiling attached.
+
+    Runs the normal (unprofiled) :func:`run_kernel` selection first so
+    the specialized-vs-plain opt-in decision is identical to what the
+    figures use, then replays the chosen variant's traces once more
+    with a :class:`~repro.profiling.PipelineProfiler` recording the
+    event trace, queue occupancy and memory mix.  The replay is
+    deterministic, so the profiled timing equals the reported one.
+    """
+    from repro.profiling import PipelineProfiler
+
+    cache = cache or _GLOBAL_CACHE
+    result = run_kernel(kernel, config, cache)
+    gpu = _gpu_for(kernel, config)
+    if result.used_specialized:
+        options = _compiler_options_for(kernel, config)
+        entry = cache.specialized(kernel, options)
+        traces = entry.traces
+    else:
+        traces = cache.original(kernel).traces
+    if trace_capacity is not None:
+        profiler = PipelineProfiler(trace_capacity=trace_capacity)
+    else:
+        profiler = PipelineProfiler()
+    sim = simulate_kernel(traces, gpu, profiler=profiler)
+    if sim.cycles != result.cycles:
+        raise SimulationError(
+            f"profiled replay of {kernel.name} under {config.name} "
+            f"took {sim.cycles} cycles vs {result.cycles} unprofiled: "
+            f"profiling hooks must not perturb timing"
+        )
+    profiled = replace(result, sim=sim)
+    return profiled, profiler
 
 
 def run_benchmark(

@@ -1,0 +1,33 @@
+"""Pipeline observability: stall attribution, queue timelines, tracing.
+
+Import order note: ``repro.sim.results`` imports this package for the
+:class:`StallCause` taxonomy, so this ``__init__`` must only pull in
+modules with no ``repro.sim`` dependencies (``stalls``, ``profiler``,
+``chrometrace``).  The report renderers — which consume ``SimResult``
+objects — live in :mod:`repro.profiling.report` and are imported
+directly by their users (the CLI and tests).
+"""
+
+from repro.profiling.chrometrace import (
+    build_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.profiling.profiler import PipelineProfiler
+from repro.profiling.stalls import (
+    CAUSE_LABELS,
+    TIMELINE_BUCKET,
+    QueueChannelProfile,
+    StallCause,
+)
+
+__all__ = [
+    "CAUSE_LABELS",
+    "PipelineProfiler",
+    "QueueChannelProfile",
+    "StallCause",
+    "TIMELINE_BUCKET",
+    "build_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,279 @@
+"""Chrome ``trace_event`` export and schema validation.
+
+Traces are emitted in the Trace Event Format's JSON-object flavour
+(``{"traceEvents": [...], "displayTimeUnit": ...}``) and load directly
+in Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.  The
+mapping from simulator concepts:
+
+* one **process** (pid) per resident thread block — plus one synthetic
+  process for the memory system and one per queue-channel group;
+* one **thread** (tid) per warp, named ``warp <key> [stage S]`` so
+  pipeline stages group visually;
+* complete (``"X"``) slices for issue groups and stall intervals, with
+  the stall cause in ``args``;
+* counter (``"C"``) tracks for queue depths and the L1/L2/DRAM service
+  mix per timeline bucket;
+* instant (``"i"``) events for barrier arrivals.
+
+One simulated cycle maps to one microsecond of trace time (``ts`` is
+in microseconds in the format); ``displayTimeUnit`` is ``"ms"``.
+
+Run ``python -m repro.profiling.chrometrace trace.json`` to validate a
+file against the schema subset the CI smoke job checks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.profiling.profiler import PipelineProfiler
+
+_MEM_PID = 1_000_000       # synthetic process for memory counters
+_QUEUE_TID_BASE = 100_000  # counter tids live above warp keys
+
+_STAGE_COLORS = (
+    "thread_state_running",
+    "rail_response",
+    "thread_state_iowait",
+    "rail_animation",
+    "thread_state_unknown",
+    "rail_idle",
+)
+
+
+def _coalesce_issues(events: list[tuple]) -> list[tuple]:
+    """Merge back-to-back issue slices of the same warp and name."""
+    by_track: dict[tuple, list] = {}
+    passthrough = []
+    for ev in events:
+        if ev[0] == "X" and ev[1] == "issue":
+            by_track.setdefault((ev[2], ev[3]), []).append(ev)
+        else:
+            passthrough.append(ev)
+    merged: list[tuple] = []
+    for track_events in by_track.values():
+        track_events.sort(key=lambda e: e[5])
+        run: list | None = None
+        for ev in track_events:
+            if (
+                run is not None
+                and ev[4] == run[4]
+                and abs(run[5] + run[6] - ev[5]) < 1e-9
+            ):
+                run[6] += ev[6]
+                continue
+            if run is not None:
+                merged.append(tuple(run))
+            run = list(ev)
+        if run is not None:
+            merged.append(tuple(run))
+    return passthrough + merged
+
+
+def chrome_trace_events(
+    profiler: PipelineProfiler,
+    pid_base: int = 0,
+    label: str = "",
+) -> list[dict[str, Any]]:
+    """Translate one profiler's data into trace-event dictionaries.
+
+    ``pid_base``/``label`` let several simulations (e.g. one per GPU
+    configuration) share a single trace file without pid collisions.
+    """
+    prefix = f"{label}: " if label else ""
+    out: list[dict[str, Any]] = []
+    seen_pids: set[int] = set()
+    seen_tids: set[tuple[int, int]] = set()
+
+    def meta_process(pid: int, name: str) -> None:
+        if pid in seen_pids:
+            return
+        seen_pids.add(pid)
+        out.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": name},
+        })
+
+    def meta_thread(pid: int, tid: int, name: str) -> None:
+        if (pid, tid) in seen_tids:
+            return
+        seen_tids.add((pid, tid))
+        out.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {"name": name},
+        })
+
+    for (tb, warp), stage in sorted(profiler.warp_stages.items()):
+        pid = pid_base + tb
+        meta_process(pid, f"{prefix}thread block {tb}")
+        meta_thread(pid, warp, f"warp {warp} [stage {stage}]")
+
+    for ev in _coalesce_issues(list(profiler.events)):
+        ph, cat, tb, warp, name, ts, dur, stage, cause = ev
+        pid = pid_base + tb
+        meta_process(pid, f"{prefix}thread block {tb}")
+        if ph == "i":
+            out.append({
+                "name": f"barrier {name}", "ph": "i", "s": "p",
+                "pid": pid, "tid": 0, "ts": ts, "cat": cat,
+            })
+            continue
+        record: dict[str, Any] = {
+            "name": name, "ph": "X", "pid": pid, "tid": warp,
+            "ts": ts, "dur": dur, "cat": cat,
+            "args": {"stage": stage},
+        }
+        if cause is not None:
+            record["args"]["cause"] = cause
+        elif stage is not None:
+            record["cname"] = _STAGE_COLORS[stage % len(_STAGE_COLORS)]
+        out.append(record)
+
+    for profile in profiler.queue_profiles():
+        pid = pid_base + profile.tb_index
+        meta_process(pid, f"{prefix}thread block {profile.tb_index}")
+        tid = (
+            _QUEUE_TID_BASE
+            + profile.queue_id * 64
+            + profile.slice_id
+        )
+        name = f"queue {profile.queue_id}.{profile.slice_id} depth"
+        meta_thread(pid, tid, name)
+        for ts, mean_depth, _max_depth in profile.series:
+            out.append({
+                "name": name, "ph": "C", "pid": pid, "tid": tid,
+                "ts": ts, "cat": "queue",
+                "args": {"depth": round(mean_depth, 3)},
+            })
+
+    if profiler.mem_buckets:
+        pid = pid_base + _MEM_PID
+        meta_process(pid, f"{prefix}memory system")
+        from repro.profiling.stalls import TIMELINE_BUCKET
+
+        for index in sorted(profiler.mem_buckets):
+            l1, l2, dram = profiler.mem_buckets[index]
+            out.append({
+                "name": "sectors serviced", "ph": "C", "pid": pid,
+                "tid": 0, "ts": float(index * TIMELINE_BUCKET),
+                "cat": "memory",
+                "args": {"l1": l1, "l2": l2, "dram": dram},
+            })
+    return out
+
+
+def build_chrome_trace(
+    sections: list[tuple[str, PipelineProfiler]],
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble a complete trace object from labelled profilers."""
+    events: list[dict[str, Any]] = []
+    pid_base = 0
+    for label, profiler in sections:
+        events.append({
+            "name": "section", "ph": "M", "pid": pid_base, "tid": 0,
+            "args": {"name": label or "simulation"},
+        })
+        events.extend(
+            chrome_trace_events(profiler, pid_base=pid_base, label=label)
+        )
+        pid_base += 2_000_000
+    trace: dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "generator": "repro.profiling",
+            "time_unit": "1 cycle = 1us tick",
+        },
+    }
+    if metadata:
+        trace["otherData"].update(metadata)
+    return trace
+
+
+def write_chrome_trace(
+    path: str,
+    sections: list[tuple[str, PipelineProfiler]],
+    metadata: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    trace = build_chrome_trace(sections, metadata)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
+    return trace
+
+
+# -- validation (used by tests and the CI smoke job) -----------------------
+
+
+def validate_chrome_trace(trace: Any) -> list[str]:
+    """Check the schema subset Perfetto/chrome://tracing rely on.
+
+    Returns a list of human-readable problems; empty means valid.
+    """
+    errors: list[str] = []
+    if not isinstance(trace, dict):
+        return ["top level must be a JSON object"]
+    if trace.get("displayTimeUnit") not in ("ms", "ns"):
+        errors.append("displayTimeUnit must be 'ms' or 'ns'")
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return errors + ["traceEvents must be a list"]
+    if not events:
+        errors.append("traceEvents is empty")
+    for index, ev in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid"):
+            if key not in ev:
+                errors.append(f"{where}: missing '{key}'")
+        ph = ev.get("ph")
+        if ph not in ("X", "M", "C", "i", "B", "E"):
+            errors.append(f"{where}: unknown phase {ph!r}")
+        if ph == "M":
+            continue
+        if "ts" not in ev:
+            errors.append(f"{where}: missing 'ts'")
+        elif not isinstance(ev["ts"], (int, float)):
+            errors.append(f"{where}: 'ts' must be numeric")
+        if ph == "X":
+            if "tid" not in ev:
+                errors.append(f"{where}: 'X' event missing 'tid'")
+            if not isinstance(ev.get("dur"), (int, float)):
+                errors.append(f"{where}: 'X' event needs numeric 'dur'")
+        if len(errors) > 20:
+            errors.append("... (truncated)")
+            break
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.profiling.chrometrace <trace.json>``"""
+    import sys
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if len(argv) != 1:
+        print("usage: python -m repro.profiling.chrometrace TRACE.json")
+        return 2
+    with open(argv[0], encoding="utf-8") as handle:
+        trace = json.load(handle)
+    errors = validate_chrome_trace(trace)
+    if errors:
+        for problem in errors:
+            print(f"INVALID: {problem}")
+        return 1
+    events = trace["traceEvents"]
+    slices = sum(1 for e in events if e.get("ph") == "X")
+    print(
+        f"OK: {len(events)} events ({slices} slices), "
+        f"displayTimeUnit={trace['displayTimeUnit']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

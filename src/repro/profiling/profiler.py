@@ -1,0 +1,222 @@
+"""The pipeline profiler attached to one :class:`SMSimulator` run.
+
+The profiler is strictly opt-in: the simulator carries ``profiler=None``
+by default and every hook site is guarded by a single ``is not None``
+check, so the timing model pays nothing when profiling is off.  When
+attached, it collects three things:
+
+* an **event trace** — a bounded ring buffer of issue slices, stall
+  intervals and barrier arrivals, exportable as Chrome ``trace_event``
+  JSON (see :mod:`repro.profiling.chrometrace`);
+* **queue occupancy** — a time-weighted depth histogram and a bucketed
+  depth timeline per inter-stage queue channel;
+* a **memory access mix** — per-bucket L1/L2/DRAM service counts.
+
+The ring buffer uses a ``deque(maxlen=...)``: when a run emits more
+events than the capacity, the oldest are dropped (``dropped_events``
+reports how many), so tracing a pathological run degrades gracefully
+instead of exhausting memory.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.profiling.stalls import (
+    TIMELINE_BUCKET,
+    QueueChannelProfile,
+    StallCause,
+)
+
+DEFAULT_TRACE_CAPACITY = 262_144
+
+
+class _QueueTracker:
+    """Time-weighted occupancy accounting for one queue channel."""
+
+    __slots__ = (
+        "capacity", "depth", "last_time", "pushes", "pops",
+        "depth_cycles", "buckets",
+    )
+
+    def __init__(self, capacity: int, start_time: float) -> None:
+        self.capacity = capacity
+        self.depth = 0
+        self.last_time = start_time
+        self.pushes = 0
+        self.pops = 0
+        self.depth_cycles: dict[int, float] = {}
+        # bucket -> [depth*span accumulator, covered span, max depth]
+        self.buckets: dict[int, list] = {}
+
+    def account(self, now: float) -> None:
+        """Charge the span since the last event at the current depth."""
+        span = now - self.last_time
+        if span <= 0:
+            return
+        self.depth_cycles[self.depth] = (
+            self.depth_cycles.get(self.depth, 0.0) + span
+        )
+        t = self.last_time
+        while t < now:
+            index = int(t) // TIMELINE_BUCKET
+            edge = (index + 1) * TIMELINE_BUCKET
+            piece = min(now, edge) - t
+            cell = self.buckets.get(index)
+            if cell is None:
+                cell = self.buckets[index] = [0.0, 0.0, 0]
+            cell[0] += self.depth * piece
+            cell[1] += piece
+            if self.depth > cell[2]:
+                cell[2] = self.depth
+            t = min(now, edge)
+        self.last_time = now
+
+
+class PipelineProfiler:
+    """Collects pipeline observability data for one simulation.
+
+    Attach one instance per ``simulate_kernel`` call; instances are not
+    reusable across runs (cycle time restarts at zero).
+    """
+
+    def __init__(
+        self,
+        trace_events: bool = True,
+        trace_capacity: int = DEFAULT_TRACE_CAPACITY,
+    ) -> None:
+        #: Simulator clock, updated by the SM core loop each iteration.
+        self.now = 0.0
+        self.trace_enabled = trace_events
+        self.events: deque = deque(maxlen=max(1, trace_capacity))
+        self.events_recorded = 0
+        self.end_time = 0.0
+        self._queues: dict[tuple[int, int, int], _QueueTracker] = {}
+        #: bucket -> [l1 hits, l2 hits, dram accesses]
+        self.mem_buckets: dict[int, list] = {}
+        #: (tb_index, warp_key) -> pipe stage, for trace track naming.
+        self.warp_stages: dict[tuple[int, int], int] = {}
+
+    # -- SM hooks --------------------------------------------------------
+
+    def register_warp(
+        self, tb_index: int, warp_key: int, stage: int
+    ) -> None:
+        self.warp_stages[(tb_index, warp_key)] = stage
+
+    def record_issue(
+        self,
+        tb_index: int,
+        warp_key: int,
+        stage: int,
+        name: str,
+        ts: float,
+        dur: float = 1.0,
+    ) -> None:
+        if not self.trace_enabled:
+            return
+        self.events_recorded += 1
+        self.events.append(
+            ("X", "issue", tb_index, warp_key, name, ts, dur, stage, None)
+        )
+
+    def record_stall(
+        self,
+        tb_index: int,
+        warp_key: int,
+        stage: int,
+        cause: StallCause,
+        ts: float,
+        dur: float,
+    ) -> None:
+        if not self.trace_enabled:
+            return
+        self.events_recorded += 1
+        self.events.append(
+            (
+                "X", "stall", tb_index, warp_key, cause.value,
+                ts, dur, stage, cause.value,
+            )
+        )
+
+    def record_barrier(
+        self, tb_index: int, barrier_id: str, ts: float
+    ) -> None:
+        if not self.trace_enabled:
+            return
+        self.events_recorded += 1
+        self.events.append(
+            ("i", "barrier", tb_index, None, str(barrier_id), ts, 0.0,
+             None, None)
+        )
+
+    # -- queue hooks -----------------------------------------------------
+
+    def queue_event(
+        self,
+        tb_index: int,
+        queue_id: int,
+        slice_id: int,
+        depth: int,
+        capacity: int,
+        kind: str,
+    ) -> None:
+        """A channel's allocated-entry count changed to ``depth``."""
+        key = (tb_index, queue_id, slice_id)
+        tracker = self._queues.get(key)
+        if tracker is None:
+            tracker = self._queues[key] = _QueueTracker(capacity, self.now)
+        tracker.account(self.now)
+        tracker.depth = depth
+        if kind == "push":
+            tracker.pushes += 1
+        elif kind == "pop":
+            tracker.pops += 1
+
+    # -- memory hooks ----------------------------------------------------
+
+    def record_mem(self, ts: float, level: int) -> None:
+        """One sector serviced at ``ts`` by level 0=L1, 1=L2, 2=DRAM."""
+        index = int(ts) // TIMELINE_BUCKET
+        cell = self.mem_buckets.get(index)
+        if cell is None:
+            cell = self.mem_buckets[index] = [0, 0, 0]
+        cell[level] += 1
+
+    # -- finalization ----------------------------------------------------
+
+    def finalize(self, end_time: float) -> None:
+        """Close all open occupancy intervals at the end of the run."""
+        self.end_time = max(self.end_time, end_time)
+        for tracker in self._queues.values():
+            tracker.account(end_time)
+
+    @property
+    def dropped_events(self) -> int:
+        return self.events_recorded - len(self.events)
+
+    def queue_profiles(self) -> list[QueueChannelProfile]:
+        """Plain-data occupancy profiles, one per observed channel."""
+        profiles = []
+        for (tb, qid, slc), tracker in sorted(self._queues.items()):
+            series = [
+                (
+                    float(index * TIMELINE_BUCKET),
+                    cell[0] / cell[1] if cell[1] > 0 else 0.0,
+                    cell[2],
+                )
+                for index, cell in sorted(tracker.buckets.items())
+            ]
+            profiles.append(
+                QueueChannelProfile(
+                    tb_index=tb,
+                    queue_id=qid,
+                    slice_id=slc,
+                    capacity=tracker.capacity,
+                    pushes=tracker.pushes,
+                    pops=tracker.pops,
+                    depth_cycles=dict(tracker.depth_cycles),
+                    series=series,
+                )
+            )
+        return profiles

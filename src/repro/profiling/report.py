@@ -1,0 +1,228 @@
+"""Render profiling data as text tables and machine-readable JSON.
+
+This module consumes :class:`~repro.sim.results.SimResult` objects and
+so must not be imported from ``repro.profiling.__init__`` (the results
+module imports that package; see its docstring).  Users import it
+directly: ``from repro.profiling import report``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.experiments.reporting import format_table
+from repro.profiling.stalls import (
+    CAUSE_LABELS,
+    TIMELINE_BUCKET,
+    StallCause,
+)
+from repro.sim.results import SimResult
+
+
+def _stage_name(stage: int) -> str:
+    return f"stage {stage}"
+
+
+def stall_breakdown_text(sim: SimResult, title: str = "") -> str:
+    """Per-cause stall table with an accounting footer.
+
+    The footer restates the attribution invariant — issued cycles plus
+    every stall bucket equals the active warp-cycles — so a reader can
+    confirm nothing went missing.
+    """
+    by_cause = sim.stall_by_cause()
+    active = sim.active_warp_cycles
+    rows = []
+    for cause in CAUSE_LABELS:
+        cycles = by_cause.get(cause, 0.0)
+        if cycles <= 0:
+            continue
+        share = cycles / active if active > 0 else 0.0
+        rows.append((CAUSE_LABELS[cause], f"{cycles:.0f}",
+                     f"{100 * share:.1f}%"))
+    issue_share = sim.issued_total / active if active > 0 else 0.0
+    rows.append(("issued (not stalled)", f"{sim.issued_total}",
+                 f"{100 * issue_share:.1f}%"))
+    table = format_table(
+        ["Where warp-cycles went", "Cycles", "Share"],
+        rows,
+        title=title or f"Stall breakdown: {sim.kernel_name}",
+    )
+    footer = (
+        f"active warp-cycles: {active:.0f} "
+        f"(= {sim.issued_total} issued + {sim.stall_total:.0f} stalled); "
+        f"wall cycles: {sim.cycles:.0f}"
+    )
+    return f"{table}\n{footer}"
+
+
+def stage_breakdown_text(sim: SimResult) -> str:
+    """Per-pipeline-stage stall table (columns are causes)."""
+    per_stage = sim.stall_by_stage()
+    if not per_stage:
+        return "no per-stage stalls recorded"
+    causes = [c for c in CAUSE_LABELS
+              if any(c in m for m in per_stage.values())]
+    headers = ["Stage", "Issued"] + [c.value for c in causes]
+    rows = []
+    for stage in sorted(per_stage):
+        issued = sim.issued_by_stage.get(stage, 0)
+        row = [_stage_name(stage), issued]
+        for cause in causes:
+            row.append(f"{per_stage[stage].get(cause, 0.0):.0f}")
+        rows.append(row)
+    return format_table(headers, rows,
+                        title="Stalled warp-cycles by pipeline stage")
+
+
+def queue_occupancy_text(sim: SimResult) -> str:
+    """Queue-channel occupancy table (needs an attached profiler)."""
+    if not sim.queue_profiles:
+        return ("no queue occupancy data (kernel has no queues, or "
+                "profiling was off)")
+    rows = []
+    for prof in sim.queue_profiles:
+        rows.append((
+            f"tb{prof.tb_index} q{prof.queue_id}.{prof.slice_id}",
+            prof.capacity,
+            f"{prof.mean_depth():.2f}",
+            prof.max_depth(),
+            f"{100 * prof.full_fraction():.1f}%",
+            f"{100 * prof.empty_fraction():.1f}%",
+            prof.pushes,
+            prof.pops,
+        ))
+    return format_table(
+        ["Channel", "Cap", "Mean", "Max", "Full", "Empty",
+         "Pushes", "Pops"],
+        rows,
+        title="Queue occupancy (time-weighted)",
+    )
+
+
+def profile_text(sim: SimResult, title: str = "") -> str:
+    """The full text report the ``repro profile`` command prints."""
+    parts = [stall_breakdown_text(sim, title=title)]
+    parts.append("")
+    parts.append(stage_breakdown_text(sim))
+    parts.append("")
+    parts.append(queue_occupancy_text(sim))
+    return "\n".join(parts)
+
+
+# -- machine-readable form --------------------------------------------------
+
+
+def stall_json(sim: SimResult) -> dict[str, Any]:
+    """Stall attribution of one simulation as plain JSON types."""
+    return {
+        "kernel": sim.kernel_name,
+        "cycles": sim.cycles,
+        "issued_total": sim.issued_total,
+        "active_warp_cycles": sim.active_warp_cycles,
+        "stall_total": sim.stall_total,
+        "stalls_by_cause": {
+            cause.value: cycles
+            for cause, cycles in sorted(
+                sim.stall_by_cause().items(), key=lambda kv: kv[0].value
+            )
+        },
+        "stalls_by_stage": {
+            str(stage): {c.value: cyc for c, cyc in sorted(
+                causes.items(), key=lambda kv: kv[0].value)}
+            for stage, causes in sorted(sim.stall_by_stage().items())
+        },
+    }
+
+
+def queue_json(sim: SimResult) -> list[dict[str, Any]]:
+    return [
+        {
+            "tb": prof.tb_index,
+            "queue": prof.queue_id,
+            "slice": prof.slice_id,
+            "capacity": prof.capacity,
+            "pushes": prof.pushes,
+            "pops": prof.pops,
+            "mean_depth": prof.mean_depth(),
+            "max_depth": prof.max_depth(),
+            "full_fraction": prof.full_fraction(),
+            "empty_fraction": prof.empty_fraction(),
+            "depth_cycles": {
+                str(d): c for d, c in sorted(prof.depth_cycles.items())
+            },
+        }
+        for prof in sim.queue_profiles
+    ]
+
+
+def profile_json(
+    sim: SimResult,
+    config_name: str = "",
+    cache_stats: Any = None,
+    extra: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Complete machine-readable profile for one simulation."""
+    doc: dict[str, Any] = {
+        "schema": "repro-profile-v1",
+        "config": config_name,
+        **stall_json(sim),
+        "queues": queue_json(sim),
+        "timeline_bucket_cycles": TIMELINE_BUCKET,
+    }
+    if cache_stats is not None:
+        doc["trace_cache"] = cache_stats_json(cache_stats)
+    if extra:
+        doc.update(extra)
+    return doc
+
+
+def cache_stats_json(stats: Any) -> dict[str, int]:
+    """``CacheStats`` (duck-typed) as JSON; used by sweep reports too."""
+    return {
+        "memory_hits": stats.memory_hits,
+        "disk_hits": stats.disk_hits,
+        "generations": stats.generations,
+        "disk_writes": stats.disk_writes,
+        "lookups": stats.lookups,
+    }
+
+
+def sweep_stalls_json(report: Any) -> dict[str, Any]:
+    """A ``SweepReport``'s aggregate stalls + cache stats as JSON.
+
+    The cache counters aggregate correctly across pool workers: each
+    worker measures its own :class:`CacheStats` delta per task and the
+    parent merges them (see ``repro.experiments.parallel``).
+    """
+    by_cause: dict[str, float] = {}
+    for (_stage, cause), cycles in report.stall_cycles.items():
+        name = cause.value if isinstance(cause, StallCause) else str(cause)
+        by_cause[name] = by_cause.get(name, 0.0) + cycles
+    return {
+        "schema": "repro-sweep-profile-v1",
+        "jobs": report.jobs,
+        "num_tasks": report.num_tasks,
+        "wall_seconds": report.wall_seconds,
+        "worker_seconds": report.worker_seconds,
+        "issued_total": report.issued_total,
+        "active_warp_cycles": report.active_warp_cycles,
+        "stalls_by_cause": dict(sorted(by_cause.items())),
+        "trace_cache": cache_stats_json(report.stats),
+    }
+
+
+def sweep_stalls_text(report: Any) -> str:
+    """One-line-per-cause roll-up of a sweep's stall attribution."""
+    by_cause: dict[StallCause, float] = {}
+    for (_stage, cause), cycles in report.stall_cycles.items():
+        by_cause[cause] = by_cause.get(cause, 0.0) + cycles
+    total = sum(by_cause.values())
+    if total <= 0:
+        return "sweep stalls: none recorded"
+    parts = []
+    for cause in CAUSE_LABELS:
+        cycles = by_cause.get(cause, 0.0)
+        if cycles > 0:
+            parts.append(f"{cause.value} {100 * cycles / total:.0f}%")
+    return "sweep stalls: " + ", ".join(parts)

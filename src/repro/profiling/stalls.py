@@ -1,0 +1,115 @@
+"""Stall-cause taxonomy and plain-data profile containers.
+
+This module sits at the bottom of the dependency order: it imports
+nothing from the rest of ``repro`` so that ``repro.sim.results`` (whose
+containers cross process boundaries in the parallel sweep runner) can
+use these types as dictionary keys and payloads.
+
+Attribution model
+-----------------
+The SM core loop is event-skipping, not strictly cycle-stepped, so
+stall cycles are charged as *intervals*: whenever a warp's blocking
+condition changes (or it finally issues), the elapsed span since the
+last accounting point is charged to the cause that held during it.
+Every active warp-cycle is therefore attributed to exactly one of:
+
+* an **issue** (the warp issued that cycle), or
+* one :class:`StallCause`.
+
+giving the invariant checked by the test suite::
+
+    sum(stall cycles over causes) + issued_total == active warp-cycles
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+#: Cycles per utilization/occupancy-timeline bucket (Figure 3).  Lives
+#: here (rather than ``repro.sim.results``, which re-exports it) so the
+#: profiler does not import the results module it feeds.
+TIMELINE_BUCKET = 256
+
+
+class StallCause(enum.Enum):
+    """Why a warp could not issue on a cycle it was resident."""
+
+    #: Producer blocked: the destination queue has no free entry.
+    QUEUE_FULL = "queue_full"
+    #: Consumer blocked: the source queue is empty or its head entry's
+    #: data has not landed yet.
+    QUEUE_EMPTY = "queue_empty"
+    #: Waiting at a named arrive/wait barrier or a thread-block sync.
+    BARRIER_WAIT = "barrier_wait"
+    #: A source register's producing instruction (usually a load) has
+    #: not completed: scoreboard / exposed memory latency.
+    SCOREBOARD = "scoreboard"
+    #: The per-warp outstanding-load (MSHR) limit is exhausted.
+    MSHR = "mshr"
+    #: Eligible to issue but lost issue-port arbitration to another
+    #: warp on the same processing block.
+    ISSUE_PORT = "issue_port"
+    #: Fallback when an interval cannot be pinned to a specific cause
+    #: (e.g. a warp admitted mid-cycle before its first observation).
+    NO_ELIGIBLE = "no_eligible"
+
+
+#: Report order and human-readable labels.
+CAUSE_LABELS: dict[StallCause, str] = {
+    StallCause.SCOREBOARD: "scoreboard / memory latency",
+    StallCause.QUEUE_EMPTY: "queue empty (starved consumer)",
+    StallCause.QUEUE_FULL: "queue full (back-pressured producer)",
+    StallCause.BARRIER_WAIT: "barrier wait",
+    StallCause.MSHR: "MSHR / outstanding-load limit",
+    StallCause.ISSUE_PORT: "issue-port conflict",
+    StallCause.NO_ELIGIBLE: "unattributed",
+}
+
+
+@dataclass
+class QueueChannelProfile:
+    """Occupancy profile of one inter-stage queue channel.
+
+    ``depth_cycles`` is a time-weighted histogram: ``depth_cycles[d]``
+    is how many cycles the channel held exactly ``d`` allocated entries
+    (reserved WASP-TMA entries count as allocated).  ``series`` is the
+    bucketed timeline: ``(bucket_start_cycle, mean_depth, max_depth)``
+    per :data:`TIMELINE_BUCKET`-cycle bucket.
+    """
+
+    tb_index: int
+    queue_id: int
+    slice_id: int
+    capacity: int
+    pushes: int = 0
+    pops: int = 0
+    depth_cycles: dict[int, float] = field(default_factory=dict)
+    series: list[tuple[float, float, int]] = field(default_factory=list)
+
+    @property
+    def observed_cycles(self) -> float:
+        return sum(self.depth_cycles.values())
+
+    def mean_depth(self) -> float:
+        total = self.observed_cycles
+        if total <= 0:
+            return 0.0
+        weighted = sum(d * c for d, c in self.depth_cycles.items())
+        return weighted / total
+
+    def max_depth(self) -> int:
+        return max(self.depth_cycles, default=0)
+
+    def full_fraction(self) -> float:
+        """Fraction of observed time the channel sat completely full."""
+        total = self.observed_cycles
+        if total <= 0:
+            return 0.0
+        return self.depth_cycles.get(self.capacity, 0.0) / total
+
+    def empty_fraction(self) -> float:
+        total = self.observed_cycles
+        if total <= 0:
+            return 0.0
+        return self.depth_cycles.get(0, 0.0) / total

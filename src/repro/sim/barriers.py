@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
+from typing import Any
 
 INFINITY = float("inf")
 
@@ -23,9 +24,14 @@ class TimedArriveWait:
     initial_credit: int = 0
     arrival_times: list[float] = field(default_factory=list)
     wait_counts: dict[int, int] = field(default_factory=dict)
+    tb_index: int = 0
+    profiler: Any = None  # PipelineProfiler when arrivals are traced
 
     def arrive(self, time: float) -> None:
         bisect.insort(self.arrival_times, time)
+        if self.profiler is not None:
+            self.profiler.record_barrier(self.tb_index, self.barrier_id,
+                                         time)
 
     def wait_pass_time(self, warp_key: int) -> float:
         """When the next wait by ``warp_key`` passes (may be inf)."""
@@ -50,6 +56,8 @@ class TimedSyncBarrier:
     phase_arrivals: dict[int, list[float]] = field(default_factory=dict)
     warp_phase: dict[int, int] = field(default_factory=dict)
     arrived: set = field(default_factory=set)
+    tb_index: int = 0
+    profiler: Any = None  # PipelineProfiler when arrivals are traced
 
     def arrive(self, warp_key: int, time: float) -> None:
         phase = self.warp_phase.get(warp_key, 0)
@@ -57,6 +65,9 @@ class TimedSyncBarrier:
             return
         self.arrived.add((warp_key, phase))
         self.phase_arrivals.setdefault(phase, []).append(time)
+        if self.profiler is not None:
+            self.profiler.record_barrier(self.tb_index, self.barrier_id,
+                                         time)
 
     def pass_time(self, warp_key: int) -> float:
         """When this warp's current sync releases (inf if not yet)."""
@@ -78,10 +89,14 @@ class BarrierFile:
         num_warps: int,
         expected: dict[str, int],
         initial: dict[str, int],
+        profiler: Any = None,
+        tb_index: int = 0,
     ) -> None:
         self._num_warps = num_warps
         self._expected = expected
         self._initial = initial
+        self._profiler = profiler
+        self._tb_index = tb_index
         self._aw: dict[str, TimedArriveWait] = {}
         self._sync: dict[str, TimedSyncBarrier] = {}
 
@@ -92,6 +107,8 @@ class BarrierFile:
                 barrier_id,
                 expected=self._expected.get(barrier_id, 1),
                 initial_credit=self._initial.get(barrier_id, 0),
+                tb_index=self._tb_index,
+                profiler=self._profiler,
             )
             self._aw[barrier_id] = barrier
         return barrier
@@ -99,6 +116,11 @@ class BarrierFile:
     def sync(self, barrier_id: str) -> TimedSyncBarrier:
         barrier = self._sync.get(barrier_id)
         if barrier is None:
-            barrier = TimedSyncBarrier(barrier_id, num_warps=self._num_warps)
+            barrier = TimedSyncBarrier(
+                barrier_id,
+                num_warps=self._num_warps,
+                tb_index=self._tb_index,
+                profiler=self._profiler,
+            )
             self._sync[barrier_id] = barrier
         return barrier

@@ -4,6 +4,12 @@
 memory side effects) and then replays the traces on the timing model;
 ``simulate_kernel`` skips the functional step when traces already exist
 (e.g. to time the same trace under several GPU configurations).
+
+Both entry points accept an optional :class:`PipelineProfiler`; when
+one is attached the timing replay additionally records the event trace,
+queue-occupancy samples and memory service mix that feed the Chrome
+trace exporter.  Stall-cause attribution is collected unconditionally —
+it is interval-based and adds only O(1) work per issue attempt.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from repro.fexec.machine import run_kernel
 from repro.fexec.memory_image import MemoryImage
 from repro.fexec.trace import KernelTrace
 from repro.isa.program import Program
+from repro.profiling import PipelineProfiler
 from repro.sim.config import GPUConfig
 from repro.sim.occupancy import Occupancy
 from repro.sim.results import TIMELINE_BUCKET, SimResult, SMStats
@@ -25,11 +32,13 @@ def simulate_kernel(
     traces: list[KernelTrace],
     config: GPUConfig,
     occupancy: Occupancy | None = None,
+    profiler: PipelineProfiler | None = None,
 ) -> SimResult:
     """Replay traces on the timing model and summarize."""
-    sim = SMSimulator(config, traces, occupancy=occupancy)
+    sim = SMSimulator(config, traces, occupancy=occupancy,
+                      profiler=profiler)
     stats = sim.run()
-    return _summarize(sim, stats)
+    return _summarize(sim, stats, profiler)
 
 
 def simulate_program(
@@ -37,17 +46,37 @@ def simulate_program(
     memory: MemoryImage,
     launch: LaunchConfig,
     config: GPUConfig,
+    profiler: PipelineProfiler | None = None,
 ) -> SimResult:
     """Functionally execute then time ``program``."""
     result = run_kernel(program, memory, launch)
-    return simulate_kernel(result.traces, config)
+    return simulate_kernel(result.traces, config, profiler=profiler)
 
 
-def _summarize(sim: SMSimulator, stats: SMStats) -> SimResult:
+def _summarize(
+    sim: SMSimulator,
+    stats: SMStats,
+    profiler: PipelineProfiler | None = None,
+) -> SimResult:
     elapsed = max(1.0, stats.cycles)
     timeline = []
-    for bucket_index in sorted(stats.timeline):
-        bucket = stats.timeline[bucket_index]
+    # Cover the whole run, including trailing buckets where nothing
+    # issued but memory traffic was still draining — and buckets up to
+    # the final cycle count (which waits for the memory drain), so the
+    # timeline's time axis matches ``cycles``.
+    last_bucket = max(
+        max(stats.timeline, default=0),
+        (int(elapsed) - 1) // TIMELINE_BUCKET,
+    )
+    empty = None
+    for bucket_index in range(last_bucket + 1):
+        bucket = stats.timeline.get(bucket_index)
+        if bucket is None:
+            if empty is None:
+                from repro.sim.results import TimelineBucket
+
+                empty = TimelineBucket()
+            bucket = empty
         time = bucket_index * TIMELINE_BUCKET
         compute_util = bucket.tensor_fp_issued / TIMELINE_BUCKET
         mem_util = min(
@@ -70,4 +99,9 @@ def _summarize(sim: SMSimulator, stats: SMStats) -> SimResult:
         occupancy=sim.occupancy,
         timeline=timeline,
         tbs_completed=stats.tbs_completed,
+        stall_cycles=dict(stats.stall_cycles),
+        active_warp_cycles=stats.active_warp_cycles,
+        queue_profiles=(
+            profiler.queue_profiles() if profiler is not None else []
+        ),
     )

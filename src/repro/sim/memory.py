@@ -37,20 +37,37 @@ class MemorySystem:
         self.smem_bw = BandwidthServer(float(config.smem_words_per_cycle),
                                        "smem")
         self.stats = MemoryStats()
+        # Optional profiler, attached by the SM simulator.  Recording
+        # here (rather than at the issue sites in the SM core) covers
+        # every requester uniformly — warp loads/stores AND the TMA
+        # engine, whose traffic never occupies an issue slot.  The
+        # hit-level mix is stamped at bandwidth-service time so traces
+        # show when the hierarchy actually served the data (including
+        # the post-retire drain).  Note the Figure-3 utilization
+        # timeline is separate: it counts warp-issued sectors at issue
+        # time in the SM core, preserving the figures' semantics.
+        self.profiler = None
 
     def access_sector(self, now: float, sector: int) -> float:
         """One 32-byte sector request; returns data-ready time."""
         cfg = self.config
         self.stats.total_sectors += 1
+        prof = self.profiler
         if self.l1.access(sector):
             self.stats.l1_hits += 1
+            if prof is not None:
+                prof.record_mem(now, 0)
             return now + cfg.l1_latency
         service = self.l2_bw.submit(now)
         if self.l2.access(sector):
             self.stats.l2_hits += 1
+            if prof is not None:
+                prof.record_mem(service, 1)
             return service + cfg.l2_latency
         self.stats.dram_accesses += 1
         dram_done = self.dram_bw.submit(service)
+        if prof is not None:
+            prof.record_mem(dram_done, 2)
         return dram_done + cfg.dram_latency
 
     def access_global(self, now: float, sectors: tuple[int, ...]) -> float:

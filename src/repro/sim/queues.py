@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.sim.config import QueueImpl
@@ -31,10 +32,20 @@ class QueueChannel:
     impl: QueueImpl = QueueImpl.RFQ
     _entries: deque = field(default_factory=deque)  # data-ready times
     reserved: int = 0  # entries acquired by in-flight TMA phase-1 vectors
+    tb_index: int = 0
+    profiler: Any = None  # PipelineProfiler when occupancy is sampled
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
             raise SimulationError("queue capacity must be positive")
+
+    def _record(self, kind: str) -> None:
+        prof = self.profiler
+        if prof is not None:
+            prof.queue_event(
+                self.tb_index, self.queue_id, self.slice_id,
+                len(self._entries) + self.reserved, self.capacity, kind,
+            )
 
     # -- producer side --------------------------------------------------
 
@@ -48,6 +59,7 @@ class QueueChannel:
                 f"reserve on full queue {self.queue_id}/{self.slice_id}"
             )
         self.reserved += 1
+        self._record("reserve")
 
     def push_reserved(self, ready_time: float) -> None:
         """Fill a previously reserved entry (WASP-TMA phase 2)."""
@@ -57,6 +69,7 @@ class QueueChannel:
             )
         self.reserved -= 1
         self._entries.append(ready_time)
+        self._record("push")
 
     def push(self, ready_time: float) -> None:
         if not self.can_push():
@@ -64,6 +77,7 @@ class QueueChannel:
                 f"push into full queue {self.queue_id}/{self.slice_id}"
             )
         self._entries.append(ready_time)
+        self._record("push")
 
     # -- consumer side --------------------------------------------------
 
@@ -81,7 +95,9 @@ class QueueChannel:
             raise SimulationError(
                 f"pop from empty queue {self.queue_id}/{self.slice_id}"
             )
-        return self._entries.popleft()
+        ready = self._entries.popleft()
+        self._record("pop")
+        return ready
 
     # -- scheduler scoreboard bits (III-C / III-D) -----------------------
 
@@ -100,10 +116,16 @@ class QueueFile:
     """All queue channels of one resident thread block."""
 
     def __init__(
-        self, capacity_by_queue: dict[int, int], impl: QueueImpl
+        self,
+        capacity_by_queue: dict[int, int],
+        impl: QueueImpl,
+        profiler: Any = None,
+        tb_index: int = 0,
     ) -> None:
         self._capacity = capacity_by_queue
         self._impl = impl
+        self._profiler = profiler
+        self._tb_index = tb_index
         self._channels: dict[tuple[int, int], QueueChannel] = {}
 
     def channel(self, queue_id: int, slice_id: int) -> QueueChannel:
@@ -116,6 +138,8 @@ class QueueFile:
                 slice_id=slice_id,
                 capacity=capacity,
                 impl=self._impl,
+                tb_index=self._tb_index,
+                profiler=self._profiler,
             )
             self._channels[key] = chan
         return chan

@@ -11,9 +11,21 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.isa.opcodes import InstrCategory
+from repro.profiling.stalls import (
+    TIMELINE_BUCKET,
+    QueueChannelProfile,
+    StallCause,
+)
 from repro.sim.occupancy import Occupancy
 
-TIMELINE_BUCKET = 256  # cycles per utilization-timeline bucket (Figure 3)
+__all__ = [
+    "TIMELINE_BUCKET",
+    "QueueChannelProfile",
+    "SMStats",
+    "SimResult",
+    "StallCause",
+    "TimelineBucket",
+]
 
 
 @dataclass
@@ -36,27 +48,44 @@ class SMStats:
     queue_overhead_instrs: int = 0
     timeline: dict[int, TimelineBucket] = field(default_factory=dict)
     tbs_completed: int = 0
+    #: (pipe stage, cause) -> cycles a warp of that stage spent stalled.
+    stall_cycles: dict[tuple[int, StallCause], float] = field(
+        default_factory=dict
+    )
+    #: Total accounted warp-cycles: issues plus attributed stalls.
+    active_warp_cycles: float = 0.0
 
     def count_issue(
         self, time: float, category: InstrCategory, stage: int, tensor_fp: bool
     ) -> None:
         self.issued_total += 1
+        self.active_warp_cycles += 1.0
         self.issued_by_category[category] = (
             self.issued_by_category.get(category, 0) + 1
         )
         self.issued_by_stage[stage] = self.issued_by_stage.get(stage, 0) + 1
-        bucket = self.timeline.setdefault(
-            int(time) // TIMELINE_BUCKET, TimelineBucket()
-        )
+        index = int(time) // TIMELINE_BUCKET
+        bucket = self.timeline.get(index)
+        if bucket is None:
+            bucket = self.timeline[index] = TimelineBucket()
         bucket.issued += 1
         if tensor_fp:
             bucket.tensor_fp_issued += 1
 
     def count_sectors(self, time: float, count: int) -> None:
-        bucket = self.timeline.setdefault(
-            int(time) // TIMELINE_BUCKET, TimelineBucket()
-        )
+        index = int(time) // TIMELINE_BUCKET
+        bucket = self.timeline.get(index)
+        if bucket is None:
+            bucket = self.timeline[index] = TimelineBucket()
         bucket.sectors += count
+
+    def count_stall(
+        self, stage: int, cause: StallCause, cycles: float
+    ) -> None:
+        """Charge ``cycles`` of one warp's time to ``cause``."""
+        key = (stage, cause)
+        self.stall_cycles[key] = self.stall_cycles.get(key, 0.0) + cycles
+        self.active_warp_cycles += cycles
 
 
 @dataclass
@@ -76,6 +105,16 @@ class SimResult:
     occupancy: Occupancy
     timeline: list[tuple[float, float, float]] = field(default_factory=list)
     tbs_completed: int = 0
+    #: (pipe stage, cause) -> stalled warp-cycles (always collected).
+    stall_cycles: dict[tuple[int, StallCause], float] = field(
+        default_factory=dict
+    )
+    #: issued_total + sum(stall_cycles.values()); the profiler invariant
+    #: is ``active_warp_cycles == issued_total + stall total``.
+    active_warp_cycles: float = 0.0
+    #: Queue occupancy profiles; populated only when a profiler was
+    #: attached to the simulation.
+    queue_profiles: list[QueueChannelProfile] = field(default_factory=list)
 
     @property
     def dynamic_instructions(self) -> int:
@@ -85,3 +124,30 @@ class SimResult:
         if not self.issued_total:
             return 0.0
         return self.issued_by_category.get(category, 0) / self.issued_total
+
+    # -- stall-attribution views ----------------------------------------
+
+    @property
+    def stall_total(self) -> float:
+        return sum(self.stall_cycles.values())
+
+    def stall_by_cause(self) -> dict[StallCause, float]:
+        """Stalled warp-cycles rolled up over pipeline stages."""
+        rollup: dict[StallCause, float] = {}
+        for (_stage, cause), cycles in self.stall_cycles.items():
+            rollup[cause] = rollup.get(cause, 0.0) + cycles
+        return rollup
+
+    def stall_by_stage(self) -> dict[int, dict[StallCause, float]]:
+        """Stalled warp-cycles per pipeline stage, per cause."""
+        rollup: dict[int, dict[StallCause, float]] = {}
+        for (stage, cause), cycles in self.stall_cycles.items():
+            per_stage = rollup.setdefault(stage, {})
+            per_stage[cause] = per_stage.get(cause, 0.0) + cycles
+        return rollup
+
+    def stall_fraction(self, cause: StallCause) -> float:
+        """Share of active warp-cycles lost to ``cause``."""
+        if self.active_warp_cycles <= 0:
+            return 0.0
+        return self.stall_by_cause().get(cause, 0.0) / self.active_warp_cycles

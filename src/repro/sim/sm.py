@@ -8,6 +8,17 @@ known future wake time (memory completions are computed eagerly) or to
 "another warp must act", in which case the blocked warp registers itself
 on the queue/barrier and is woken by the unblocking event.  When no warp
 can issue, time skips to the earliest known wake.
+
+Stall attribution (``repro.profiling``): every active warp-cycle is
+charged either to an issue or to one :class:`StallCause`.  Because the
+loop skips idle time, attribution is interval-based and lazy — each
+warp carries an accounting mark (``prof_mark``) and the cause in force
+since that mark (``prof_cause``); the span is charged to ``SMStats``
+only when the cause *changes* or the warp issues, so the always-on cost
+is one enum comparison per issue attempt.  The optional
+:class:`~repro.profiling.PipelineProfiler` additionally records an
+event trace and queue/memory timelines; all its hook sites are guarded
+by ``is not None`` checks.
 """
 
 from __future__ import annotations
@@ -22,6 +33,8 @@ from repro.core.specs import ThreadBlockSpec
 from repro.errors import DeadlockError, SimulationError
 from repro.fexec.trace import DynamicInstr, KernelTrace
 from repro.isa.opcodes import FuncUnit, InstrCategory, Opcode
+from repro.profiling.profiler import PipelineProfiler
+from repro.profiling.stalls import StallCause
 from repro.sim.barriers import INFINITY, BarrierFile
 from repro.sim.config import GPUConfig, QueueImpl
 from repro.sim.memory import MemorySystem
@@ -69,6 +82,10 @@ class _WarpRun:
     pending_extra: int = 0
     sync_marked: bool = False
     async_copy_done: float = 0.0  # LDGSTS data-landing fence for arrives
+    # Stall attribution: time accounted so far and the cause in force
+    # since then (None while the warp is issuing/eligible).
+    prof_mark: float = 0.0
+    prof_cause: StallCause | None = None
 
     def current(self) -> DynamicInstr | None:
         if self.pc < len(self.instrs):
@@ -84,14 +101,20 @@ class SMSimulator:
         config: GPUConfig,
         traces: list[KernelTrace],
         occupancy: Occupancy | None = None,
+        profiler: PipelineProfiler | None = None,
     ) -> None:
         if not traces:
             raise SimulationError("no thread blocks to simulate")
         self.config = config
         self.traces = traces
+        self.profiler = profiler
         self.memory = MemorySystem(config)
         self.tma = TmaEngine(config, self.memory)
         self.stats = SMStats()
+        # The memory system records the L1/L2/DRAM service mix for
+        # the event trace (covers TMA traffic too); the Figure-3
+        # utilization timeline keeps its issue-time semantics below.
+        self.memory.profiler = profiler
         first = traces[0]
         spec = first.tb_spec
         self.spec: ThreadBlockSpec | None = spec
@@ -114,6 +137,9 @@ class SMSimulator:
         self._age = 0
         # Warps blocked on conditions another agent must clear.
         self._queue_block: dict[tuple[int, int, int, str], list[_WarpRun]] = {}
+        # Reusable scratch for per-cycle arbitration (no allocation in
+        # the issue loop).
+        self._eligible: list[_WarpRun] = []
 
     # -- residency ----------------------------------------------------------
 
@@ -150,11 +176,18 @@ class SMSimulator:
         if spec is not None:
             for queue in spec.queues:
                 capacities[queue.queue_id] = self.config.rfq_size
+        tb_index = self._next_tb
         tb = _ResidentTB(
-            tb_index=self._next_tb,
+            tb_index=tb_index,
             trace=trace,
-            barriers=BarrierFile(trace.num_warps, expected, initial),
-            queues=QueueFile(capacities, self.config.features.queue_impl),
+            barriers=BarrierFile(
+                trace.num_warps, expected, initial,
+                profiler=self.profiler, tb_index=tb_index,
+            ),
+            queues=QueueFile(
+                capacities, self.config.features.queue_impl,
+                profiler=self.profiler, tb_index=tb_index,
+            ),
         )
         self._next_tb += 1
         mapping = map_warps(
@@ -173,11 +206,16 @@ class SMSimulator:
                 pb=mapping[warp_trace.warp_id],
                 age=self._age,
                 wake_at=now,
+                prof_mark=now,
             )
             self._next_key += 1
             self._age += 1
             if not run.instrs:
                 run.done = True
+            if self.profiler is not None:
+                self.profiler.register_warp(
+                    tb.tb_index, run.key, run.pipe_stage_id
+                )
             tb.warps.append(run)
             self._pbs[run.pb].append(run)
         self._resident.append(tb)
@@ -206,10 +244,13 @@ class SMSimulator:
         now = 0.0
         self._admit(now)
         guard = 0
+        prof = self.profiler
         while self._resident or self._pending:
             guard += 1
             if guard > 200_000_000:
                 raise SimulationError("simulation exceeded cycle guard")
+            if prof is not None:
+                prof.now = now
             self.tma.advance(now)
             issued_any = False
             wake = INFINITY
@@ -235,6 +276,8 @@ class SMSimulator:
                     self._raise_deadlock(now)
                 now = max(now + 1.0, math.ceil(wake))
         self.stats.cycles = max(now, self.memory.drain_time())
+        if prof is not None:
+            prof.finalize(self.stats.cycles)
         return self.stats
 
     def _rearm_infinite_waits(self, recheck_at: float) -> None:
@@ -264,26 +307,63 @@ class SMSimulator:
         greedy = self._greedy[pb_index]
         policy = self.config.features.scheduling_policy
         pipeline_aware = self.config.features.pipeline_scheduling
+        eligible = self._eligible
+        eligible.clear()
         for warp in self._pbs[pb_index]:
             if warp.done or warp.wake_at > now:
                 wake = min(wake, warp.wake_at if not warp.done else INFINITY)
                 continue
-            can, warp_wake = self._can_issue(warp, now)
+            can, warp_wake, cause = self._can_issue(warp, now)
             if not can:
+                if cause is not None:
+                    self._note_stall(warp, now, cause)
                 warp.wake_at = warp_wake
                 wake = min(wake, warp_wake)
                 continue
+            eligible.append(warp)
             state = self._sched_state(warp, now) if pipeline_aware else None
-            key = self._priority(policy if pipeline_aware else
-                                 self.config.features.scheduling_policy,
-                                 warp, state, greedy, now)
+            key = self._priority(policy, warp, state, greedy, now)
             if best is None or key < best_key:
                 best, best_key = warp, key
         if best is None:
             return wake
+        for warp in eligible:
+            if warp is not best:
+                self._note_stall(warp, now, StallCause.ISSUE_PORT)
+        eligible.clear()
         self._execute(best, now)
         self._greedy[pb_index] = best.key
         return True
+
+    # -- stall attribution ----------------------------------------------
+
+    def _note_stall(
+        self, warp: _WarpRun, now: float, cause: StallCause
+    ) -> None:
+        """Record that ``cause`` blocks ``warp`` as of ``now``.
+
+        Repeated observations of the same cause are free; the interval
+        is only charged (via :meth:`_close_stall`) when the cause
+        changes or the warp issues.
+        """
+        if warp.prof_cause is cause:
+            return
+        self._close_stall(warp, now)
+        warp.prof_cause = cause
+
+    def _close_stall(self, warp: _WarpRun, now: float) -> None:
+        """Charge the open accounting interval and move the mark."""
+        delta = now - warp.prof_mark
+        if delta > 0.0:
+            cause = warp.prof_cause or StallCause.NO_ELIGIBLE
+            self.stats.count_stall(warp.pipe_stage_id, cause, delta)
+            prof = self.profiler
+            if prof is not None:
+                prof.record_stall(
+                    warp.tb.tb_index, warp.key, warp.pipe_stage_id,
+                    cause, warp.prof_mark, delta,
+                )
+        warp.prof_mark = now
 
     def _priority(self, policy, warp: _WarpRun, state, greedy, now):
         if state is None:
@@ -316,13 +396,16 @@ class SMSimulator:
 
     # -- issue legality -------------------------------------------------
 
-    def _can_issue(self, warp: _WarpRun, now: float) -> tuple[bool, float]:
+    def _can_issue(
+        self, warp: _WarpRun, now: float
+    ) -> tuple[bool, float, StallCause | None]:
+        """(can issue, wake time, blocking cause when it cannot)."""
         if warp.pending_extra > 0:
-            return True, now
+            return True, now, None
         instr = warp.current()
         if instr is None:
             warp.done = True
-            return False, INFINITY
+            return False, INFINITY, None
         # Register dependences.
         ready = now
         for reg in instr.src_regs:
@@ -330,7 +413,7 @@ class SMSimulator:
             if t is not None and t > ready:
                 ready = t
         if ready > now:
-            return False, ready
+            return False, ready, StallCause.SCOREBOARD
         # Queue pop: head entry must exist and its data be ready.  An
         # empty channel can only be filled by another agent (producer
         # warp or the TMA engine): wake is unknown (infinity) and the
@@ -339,14 +422,14 @@ class SMSimulator:
             chan = warp.tb.queues.channel(instr.queue_pop, warp.slice_id)
             head = chan.head_ready_time()
             if head is None:
-                return False, INFINITY
+                return False, INFINITY, StallCause.QUEUE_EMPTY
             if head > now:
-                return False, head
+                return False, head, StallCause.QUEUE_EMPTY
         # Queue push: space must exist (freed only by a consumer pop).
         if instr.queue_push is not None:
             chan = warp.tb.queues.channel(instr.queue_push, warp.slice_id)
             if not chan.can_push():
-                return False, INFINITY
+                return False, INFINITY, StallCause.QUEUE_FULL
         # Outstanding-load limit.
         if instr.opcode is Opcode.LDG:
             warp.outstanding = [t for t in warp.outstanding if t > now]
@@ -354,13 +437,13 @@ class SMSimulator:
                 len(warp.outstanding)
                 >= self.config.max_outstanding_loads_per_warp
             ):
-                return False, min(warp.outstanding)
+                return False, min(warp.outstanding), StallCause.MSHR
         # Barriers.
         if instr.opcode is Opcode.BAR_WAIT:
             barrier = warp.tb.barriers.arrive_wait(instr.barrier_id)
             pass_time = barrier.wait_pass_time(warp.key)
             if pass_time > now:
-                return False, pass_time
+                return False, pass_time, StallCause.BARRIER_WAIT
         if instr.opcode is Opcode.BAR_SYNC:
             barrier = warp.tb.barriers.sync(instr.barrier_id)
             if not warp.sync_marked:
@@ -368,19 +451,30 @@ class SMSimulator:
                 warp.sync_marked = True
             pass_time = barrier.pass_time(warp.key)
             if pass_time > now:
-                return False, pass_time
-        return True, now
+                return False, pass_time, StallCause.BARRIER_WAIT
+        return True, now, None
 
     # -- execution ------------------------------------------------------
 
     def _execute(self, warp: _WarpRun, now: float) -> None:
         cfg = self.config
+        # Close the stall-attribution interval: [prof_mark, now) was a
+        # stall, [now, now+1) is this issue.
+        self._close_stall(warp, now)
+        warp.prof_cause = None
+        warp.prof_mark = now + 1.0
+        prof = self.profiler
         if warp.pending_extra > 0:
             warp.pending_extra -= 1
             self.stats.queue_overhead_instrs += 1
             self.stats.count_issue(
                 now, InstrCategory.QUEUE, warp.pipe_stage_id, tensor_fp=False
             )
+            if prof is not None:
+                prof.record_issue(
+                    warp.tb.tb_index, warp.key, warp.pipe_stage_id,
+                    "QUEUE_OP", now,
+                )
             warp.last_issued = now
             warp.wake_at = now + 1.0
             return
@@ -451,6 +545,11 @@ class SMSimulator:
             warp.pipe_stage_id,
             tensor_fp=instr.unit in _TENSOR_FP_UNITS,
         )
+        if prof is not None:
+            prof.record_issue(
+                warp.tb.tb_index, warp.key, warp.pipe_stage_id,
+                opcode.value, now,
+            )
         warp.last_issued = now
         warp.pc += 1
         warp.wake_at = now + 1.0
@@ -471,4 +570,3 @@ class SMSimulator:
             barrier = warp.tb.barriers.arrive_wait(barrier_id)
             on_complete = barrier.arrive
         self.tma.submit(now, job, channel, on_complete)
-        self.stats.count_sectors(now, 0)

@@ -106,3 +106,75 @@ def test_report_recorded_and_renders(isolated_cache):
 def test_trace_cache_default_constructor_is_memory_only():
     cache = TraceCache()
     assert cache.store is None
+
+
+def test_parallel_cache_stats_aggregate_from_workers(isolated_cache):
+    """Worker-side hit/miss counters must reach the parent's report.
+
+    With a cold cache and ``jobs=2``, the warm phase generates each
+    unique (kernel, options) trace exactly once across the pool; the
+    deltas are measured inside the workers and merged in the parent, so
+    the report must show exactly that many generations — not zero
+    (counters lost in the pool) and not more (duplicated work).
+    """
+    configs = _configs()
+    sweep = run_sweep(FAST, SCALE, configs, jobs=2)
+    stats = sweep.report.stats
+
+    unique = set()
+    for name in FAST:
+        from repro.experiments.runner import _options_key
+        from repro.experiments.parallel import _compiler_options_for
+        from repro.workloads import get_benchmark
+
+        for kernel in get_benchmark(name, SCALE).kernels:
+            digest = kernel.content_digest()
+            unique.add((digest, None))
+            for config in configs:
+                options = _compiler_options_for(kernel, config)
+                if options is not None:
+                    unique.add((digest, _options_key(options)))
+    assert stats.generations == len(unique)
+    assert stats.lookups > stats.generations  # sim phase hits the cache
+
+    # A second parallel sweep over the same store is generation-free.
+    again = run_sweep(FAST, SCALE, configs, jobs=2)
+    assert again.report.stats.generations == 0
+    assert (
+        again.report.stats.memory_hits + again.report.stats.disk_hits > 0
+    )
+
+
+def test_sweep_stall_aggregation_matches_serial(isolated_cache):
+    """Stall roll-ups are assembled in the parent: jobs-invariant."""
+    configs = _configs()
+    serial = run_sweep(FAST, SCALE, configs, jobs=1)
+    parallel = run_sweep(FAST, SCALE, configs, jobs=2)
+    assert serial.report.stall_cycles
+    assert parallel.report.stall_cycles == serial.report.stall_cycles
+    assert parallel.report.issued_total == serial.report.issued_total
+    assert parallel.report.active_warp_cycles == pytest.approx(
+        serial.report.active_warp_cycles
+    )
+    # The sweep-level invariant holds (it holds per simulation).
+    total = sum(serial.report.stall_cycles.values())
+    assert total + serial.report.issued_total == pytest.approx(
+        serial.report.active_warp_cycles
+    )
+
+
+def test_sweep_profile_json_includes_cache_stats(isolated_cache):
+    from repro.profiling.report import sweep_stalls_json, sweep_stalls_text
+
+    sweep = run_sweep(["pointnet"], SCALE, _configs(), jobs=1)
+    doc = sweep_stalls_json(sweep.report)
+    assert doc["schema"] == "repro-sweep-profile-v1"
+    assert doc["trace_cache"]["generations"] == (
+        sweep.report.stats.generations
+    )
+    assert doc["stalls_by_cause"]
+    import json
+
+    json.dumps(doc)  # plain JSON types only
+    text = sweep_stalls_text(sweep.report)
+    assert text.startswith("sweep stalls:")

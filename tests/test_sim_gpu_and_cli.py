@@ -93,3 +93,57 @@ def test_cli_runs_small_figure(capsys):
 def test_cli_rejects_unknown_artifact():
     with pytest.raises(SystemExit):
         build_parser().parse_args(["fig99"])
+
+
+def test_cli_profile_subcommand(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    json_path = tmp_path / "profile.json"
+    assert main([
+        "profile", "pointnet", "--scale", "0.1", "--no-cache",
+        "--trace-out", str(trace_path), "--json-out", str(json_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Stall breakdown" in out
+    assert "active warp-cycles" in out
+    assert "perfetto" in out
+
+    import json
+
+    from repro.profiling import validate_chrome_trace
+
+    trace = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(trace) == []
+    doc = json.loads(json_path.read_text())
+    assert doc["schema"] == "repro-profile-report-v1"
+    assert doc["kernels"]
+    kernel = doc["kernels"][0]
+    total = sum(kernel["stalls_by_cause"].values())
+    assert total + kernel["issued_total"] == pytest.approx(
+        kernel["active_warp_cycles"]
+    )
+
+
+def test_cli_profile_rejects_unknown_names(capsys):
+    with pytest.raises(SystemExit):
+        main(["profile", "no_such_benchmark", "--no-cache"])
+    with pytest.raises(SystemExit):
+        main(["profile", "pointnet", "--config", "NOPE", "--no-cache"])
+
+
+def test_cli_artifact_profile_flags(tmp_path, capsys):
+    sweep_json = tmp_path / "sweep.json"
+    trace_path = tmp_path / "fig3.json"
+    assert main([
+        "fig3", "--scale", "0.1", "--no-cache", "--profile",
+        "--profile-json", str(sweep_json), "--trace-out", str(trace_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "sweep stalls:" in out
+
+    import json
+
+    doc = json.loads(sweep_json.read_text())
+    assert doc["schema"] == "repro-sweep-profile-v1"
+    assert doc["artifact"] == "fig3"
+    assert "trace_cache" in doc
+    assert trace_path.exists()
