@@ -1,0 +1,185 @@
+"""CFG utilities shared by the verifier passes.
+
+The combined warp-specialized program concatenates one code section per
+pipeline stage behind a jump table (``finalize_pipeline``).  Analyses
+operate per stage, so this module recovers that partition from the block
+labelling convention (``jump_table_<n>`` dispatch blocks, ``s<n>_...``
+stage sections) and offers reachability, natural-loop detection and
+bounded path enumeration over a stage's sub-CFG.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import BasicBlock, Program
+
+_STAGE_LABEL = re.compile(r"^s(\d+)_")
+_JUMP_LABEL = re.compile(r"^jump_table_(\d+)$")
+
+#: Stage id used for dispatch (jump-table) blocks and for every block of
+#: an unspecialized program: "before stage dispatch".
+DISPATCH = -1
+
+
+def stage_of_label(label: str) -> int:
+    """Pipeline stage owning a block label, or :data:`DISPATCH`."""
+    match = _STAGE_LABEL.match(label)
+    if match:
+        return int(match.group(1))
+    return DISPATCH
+
+
+def strip_stage_prefix(label: str) -> str:
+    """Block label without its ``s<n>_`` stage prefix."""
+    return _STAGE_LABEL.sub("", label)
+
+
+@dataclass
+class StageSection:
+    """One pipeline stage's slice of the combined program."""
+
+    stage: int
+    blocks: list[BasicBlock] = field(default_factory=list)
+
+    @property
+    def labels(self) -> set[str]:
+        return {b.label for b in self.blocks}
+
+
+@dataclass
+class ProgramView:
+    """A program plus the CFG facts every pass needs.
+
+    For an unspecialized program there is a single section with stage
+    :data:`DISPATCH` covering every block.
+    """
+
+    program: Program
+    sections: dict[int, StageSection]
+    successors: dict[str, list[str]]
+    reachable: set[str]
+
+    @property
+    def stages(self) -> list[int]:
+        """Real stage ids (dispatch excluded), ascending."""
+        return sorted(s for s in self.sections if s != DISPATCH)
+
+    def section(self, stage: int) -> StageSection:
+        return self.sections[stage]
+
+    def stage_of_block(self, label: str) -> int:
+        return stage_of_label(label)
+
+    def reachable_blocks(self, stage: int) -> list[BasicBlock]:
+        """The stage's blocks that are reachable from the program entry."""
+        return [
+            b for b in self.sections[stage].blocks if b.label in self.reachable
+        ]
+
+
+def build_view(program: Program) -> ProgramView:
+    """Partition ``program`` into stage sections and cache CFG facts."""
+    sections: dict[int, StageSection] = {}
+    for block in program.blocks:
+        stage = stage_of_label(block.label)
+        if _JUMP_LABEL.match(block.label):
+            stage = DISPATCH
+        sections.setdefault(stage, StageSection(stage)).blocks.append(block)
+    successors = {
+        block.label: program.successors(block) for block in program.blocks
+    }
+    reachable = _reachable_from_entry(program, successors)
+    return ProgramView(
+        program=program,
+        sections=sections,
+        successors=successors,
+        reachable=reachable,
+    )
+
+
+def _reachable_from_entry(
+    program: Program, successors: dict[str, list[str]]
+) -> set[str]:
+    if not program.blocks:
+        return set()
+    seen = {program.blocks[0].label}
+    stack = [program.blocks[0].label]
+    while stack:
+        label = stack.pop()
+        for succ in successors.get(label, ()):
+            if succ not in seen:
+                seen.add(succ)
+                stack.append(succ)
+    return seen
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    """A layout-order natural loop inside one stage section."""
+
+    head: str
+    body: tuple[str, ...]  # block labels, layout order, head..tail
+
+
+def section_loops(view: ProgramView, stage: int) -> list[NaturalLoop]:
+    """Loops in a stage section, from layout backedges.
+
+    Mirrors the compiler's own loop notion
+    (:func:`repro.core.compiler.buffering.find_loops`): a backedge is a
+    branch to an earlier-or-equal block in layout order, and the loop
+    body is the contiguous label range between target and branch.
+    """
+    blocks = view.sections[stage].blocks
+    index = {b.label: i for i, b in enumerate(blocks)}
+    loops: list[NaturalLoop] = []
+    for i, block in enumerate(blocks):
+        term = block.terminator
+        if term is None or term.opcode is not Opcode.BRA:
+            continue
+        target = term.target
+        if target is not None and target in index and index[target] <= i:
+            body = tuple(b.label for b in blocks[index[target]: i + 1])
+            loops.append(NaturalLoop(head=target, body=body))
+    return loops
+
+
+def enumerate_paths(
+    view: ProgramView,
+    start: str,
+    within: set[str],
+    max_paths: int = 256,
+) -> list[list[str]] | None:
+    """Acyclic paths from ``start`` staying inside ``within``.
+
+    A path ends when it leaves ``within``, revisits a block (backedge)
+    or reaches a block with no successors.  Returns ``None`` when the
+    path count exceeds ``max_paths`` — callers should then fall back to
+    a summary-based check rather than exploding.
+    """
+    paths: list[list[str]] = []
+    stack: list[list[str]] = [[start]]
+    while stack:
+        path = stack.pop()
+        if len(paths) + len(stack) > max_paths:
+            return None
+        label = path[-1]
+        succs = [
+            s for s in view.successors.get(label, ())
+            if s in within and s not in path
+        ]
+        if not succs:
+            paths.append(path)
+            continue
+        exits = any(
+            s not in within or s in path
+            for s in view.successors.get(label, ())
+        )
+        if exits:
+            # The path may also terminate here (loop exit / backedge).
+            paths.append(list(path))
+        for succ in succs:
+            stack.append(path + [succ])
+    return paths

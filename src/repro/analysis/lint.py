@@ -1,0 +1,157 @@
+"""Registry-wide lint driver behind ``repro lint``.
+
+Compiles each workload kernel with the standard compiler options but
+verification-as-exception disabled, runs the static verifier over the
+result (the specialized program when extraction succeeds, the original
+otherwise), and aggregates the findings into one report document.
+
+Unlike the compiler's opt-out post-pass this never raises on findings:
+lint exists to *show* them.  The CLI maps error-severity findings to a
+non-zero exit code so CI can gate on a clean registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.verifier import verify_program
+from repro.core.compiler.pipeline import (
+    CompileResult,
+    WaspCompiler,
+    WaspCompilerOptions,
+)
+from repro.isa.program import Program
+
+LINT_SCHEMA = "repro-lint-report-v1"
+
+
+@dataclass
+class KernelLint:
+    """One kernel's verification outcome."""
+
+    benchmark: str
+    kernel: str
+    specialized: bool
+    num_stages: int
+    report: DiagnosticReport
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.kernel}"
+
+    def to_json(self) -> dict:
+        return {
+            "benchmark": self.benchmark,
+            "kernel": self.kernel,
+            "specialized": self.specialized,
+            "num_stages": self.num_stages,
+            **self.report.to_json(),
+        }
+
+
+@dataclass
+class LintResult:
+    """Aggregated lint outcome over a set of benchmarks."""
+
+    scale: float
+    kernels: list[KernelLint] = field(default_factory=list)
+
+    @property
+    def num_errors(self) -> int:
+        return sum(len(k.report.errors) for k in self.kernels)
+
+    @property
+    def num_warnings(self) -> int:
+        return sum(len(k.report.warnings) for k in self.kernels)
+
+    @property
+    def clean(self) -> bool:
+        return self.num_errors == 0
+
+    def summary_line(self) -> str:
+        if self.num_errors == 0 and self.num_warnings == 0:
+            return (
+                f"verifier: clean across {len(self.kernels)} kernel(s)"
+            )
+        parts = []
+        if self.num_errors:
+            parts.append(f"{self.num_errors} error(s)")
+        if self.num_warnings:
+            parts.append(f"{self.num_warnings} warning(s)")
+        return (
+            f"verifier: {', '.join(parts)} across "
+            f"{len(self.kernels)} kernel(s)"
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "schema": LINT_SCHEMA,
+            "scale": self.scale,
+            "num_kernels": len(self.kernels),
+            "num_errors": self.num_errors,
+            "num_warnings": self.num_warnings,
+            "kernels": [k.to_json() for k in self.kernels],
+        }
+
+    def to_text(self, verbose: bool = False) -> str:
+        lines: list[str] = []
+        for kernel in self.kernels:
+            findings = list(kernel.report)
+            tag = (
+                f"{kernel.num_stages}-stage pipeline"
+                if kernel.specialized else "not specialized"
+            )
+            if findings:
+                lines.append(f"{kernel.label} [{tag}]:")
+                lines.extend(f"  {d.format()}" for d in findings)
+            elif verbose:
+                lines.append(f"{kernel.label} [{tag}]: clean")
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+
+def lint_kernel(
+    program: Program,
+    num_warps: int,
+    options: WaspCompilerOptions | None = None,
+) -> tuple[CompileResult, DiagnosticReport]:
+    """Compile one kernel program (verifier-as-exception off) and verify.
+
+    Returns ``(compile_result, DiagnosticReport)``.  Used by tests and
+    :func:`lint_benchmarks`; callers that want raising behaviour should
+    compile with ``verify=True`` instead.
+    """
+    from dataclasses import replace
+
+    options = options or WaspCompilerOptions()
+    if options.verify:
+        options = replace(options, verify=False)
+    result = WaspCompiler(options).compile(program, num_warps)
+    return result, verify_program(result.program)
+
+
+def lint_benchmarks(
+    names: list[str] | None = None,
+    scale: float = 0.25,
+    options: WaspCompilerOptions | None = None,
+) -> LintResult:
+    """Lint every kernel of the named benchmarks (default: all)."""
+    from repro.workloads.registry import all_benchmarks, get_benchmark
+
+    names = list(names) if names else all_benchmarks()
+    out = LintResult(scale=scale)
+    for name in names:
+        bench = get_benchmark(name, scale)
+        for kernel in bench.kernels:
+            result, report = lint_kernel(
+                kernel.program, kernel.launch.num_warps, options
+            )
+            out.kernels.append(KernelLint(
+                benchmark=bench.name,
+                kernel=kernel.name,
+                specialized=result.specialized,
+                num_stages=result.num_stages,
+                report=report,
+            ))
+    return out

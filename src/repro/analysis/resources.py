@@ -1,0 +1,278 @@
+"""Resource and hygiene checker (rules WASP-R001..R006, C006, C007).
+
+Proves the launch-time contracts the simulator's :class:`ResourceError`
+and silent mis-accounting would otherwise surface mid-run:
+
+* the spec's per-stage register allocation fits the SM register file
+  (Section V's RF partitioning) and covers every register each stage's
+  code actually references;
+* every register/predicate read is preceded by a definition — a
+  definite-assignment dataflow per stage section (reads that are
+  undefined on *every* path are errors, reads undefined on *some* path
+  are warnings, since predicated definitions are modelled as full
+  definitions);
+* the SMEM footprint fits the configured capacity;
+* CFG hygiene: unreachable blocks, and control bleeding from one
+  stage's code section into another's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import DISPATCH, ProgramView
+from repro.analysis.diagnostics import Diagnostic
+from repro.core.specs import ThreadBlockSpec
+from repro.isa.operands import Operand
+
+
+@dataclass(frozen=True)
+class VerifyLimits:
+    """Capacities the resource pass checks against.
+
+    Defaults mirror :class:`repro.sim.config.GPUConfig` (A100-class SM).
+    """
+
+    registers_per_sm: int = 65536
+    smem_capacity_words: int = 41984
+    threads_per_warp: int = 32
+
+
+def check_resources(
+    view: ProgramView,
+    spec: ThreadBlockSpec | None,
+    limits: VerifyLimits,
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    diags.extend(_check_hygiene(view))
+    diags.extend(_check_smem_capacity(view, limits))
+    if spec is not None:
+        diags.extend(_check_register_budgets(view, spec, limits))
+    for stage in sorted(view.sections):
+        diags.extend(_check_use_before_def(view, stage))
+    return diags
+
+
+def _check_hygiene(view: ProgramView) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    kernel = view.program.name
+    for block in view.program.blocks:
+        if block.label not in view.reachable:
+            stage = view.stage_of_block(block.label)
+            diags.append(Diagnostic(
+                rule="WASP-C006",
+                message=f"block {block.label!r} is unreachable from the "
+                        "program entry",
+                kernel=kernel,
+                stage=stage if stage >= 0 else None,
+                block=block.label,
+            ))
+            continue
+        stage = view.stage_of_block(block.label)
+        if stage == DISPATCH:
+            continue
+        for succ in view.successors.get(block.label, ()):
+            succ_stage = view.stage_of_block(succ)
+            if succ_stage not in (stage, DISPATCH) and succ_stage >= 0:
+                diags.append(Diagnostic(
+                    rule="WASP-C007",
+                    message=f"stage {stage} block {block.label!r} "
+                            f"transfers control into stage {succ_stage} "
+                            f"({succ!r})",
+                    kernel=kernel,
+                    stage=stage,
+                    block=block.label,
+                    hint="end every stage section with EXIT or an "
+                         "in-section branch",
+                ))
+    return diags
+
+
+def _check_smem_capacity(
+    view: ProgramView, limits: VerifyLimits
+) -> list[Diagnostic]:
+    if view.program.smem_words <= limits.smem_capacity_words:
+        return []
+    return [Diagnostic(
+        rule="WASP-R004",
+        message=f"program allocates {view.program.smem_words} SMEM words "
+                f"but the SM holds {limits.smem_capacity_words}",
+        kernel=view.program.name,
+        hint="shrink tile buffers or disable double buffering",
+    )]
+
+
+def _check_register_budgets(
+    view: ProgramView,
+    spec: ThreadBlockSpec,
+    limits: VerifyLimits,
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    kernel = view.program.name
+
+    footprint = spec.per_stage_register_footprint(limits.threads_per_warp)
+    if footprint > limits.registers_per_sm:
+        diags.append(Diagnostic(
+            rule="WASP-R001",
+            message=f"per-stage register footprint {footprint} exceeds "
+                    f"the {limits.registers_per_sm}-register file "
+                    f"(stage_registers={spec.stage_registers}, "
+                    f"{spec.num_warps} warps)",
+            kernel=kernel,
+            hint="reduce stage register budgets or warps per stage",
+        ))
+
+    for stage in view.stages:
+        if stage >= spec.num_stages:
+            diags.append(Diagnostic(
+                rule="WASP-R006",
+                message=f"code section for stage {stage} exists but the "
+                        f"spec declares only {spec.num_stages} stages",
+                kernel=kernel,
+                stage=stage,
+            ))
+            continue
+        budget = spec.stage_registers[stage]
+        top = -1
+        culprit = None
+        for block in view.reachable_blocks(stage):
+            for instr in block.instructions:
+                regs = instr.used_registers() + instr.defined_registers()
+                for reg in regs:
+                    if reg.index > top:
+                        top = reg.index
+                        culprit = (block.label, repr(instr))
+        if top + 1 > budget:
+            assert culprit is not None
+            diags.append(Diagnostic(
+                rule="WASP-R002",
+                message=f"stage {stage} references R{top} but its "
+                        f"allocation is {budget} registers "
+                        f"(R0..R{budget - 1})",
+                kernel=kernel,
+                stage=stage,
+                block=culprit[0],
+                instruction=culprit[1],
+                hint="raise stage_registers or re-run register "
+                     "compaction",
+            ))
+
+    declared = view.program.num_registers
+    if declared is not None and spec.stage_registers and (
+        declared < max(spec.stage_registers)
+    ):
+        diags.append(Diagnostic(
+            rule="WASP-R006",
+            message=f"program declares {declared} registers but the spec "
+                    f"allocates up to {max(spec.stage_registers)} to a "
+                    "stage",
+            kernel=kernel,
+        ))
+    if spec.smem_words != view.program.smem_words:
+        diags.append(Diagnostic(
+            rule="WASP-R006",
+            message=f"spec.smem_words={spec.smem_words} disagrees with "
+                    f"the program's {view.program.smem_words}",
+            kernel=kernel,
+        ))
+    return diags
+
+
+def _check_use_before_def(
+    view: ProgramView, stage: int
+) -> list[Diagnostic]:
+    """Definite-assignment dataflow over one stage section's sub-CFG."""
+    section = view.sections[stage]
+    labels = section.labels & view.reachable
+    if not labels:
+        return []
+    blocks = [b for b in section.blocks if b.label in labels]
+    order = {b.label: i for i, b in enumerate(blocks)}
+    block_by_label = {b.label: b for b in blocks}
+
+    # Dispatch-section definitions (the jump table's predicate) reach
+    # every stage entry; for the dispatch section itself start empty.
+    inherited: set[Operand] = set()
+    if stage != DISPATCH and DISPATCH in view.sections:
+        for block in view.sections[DISPATCH].blocks:
+            for instr in block.instructions:
+                inherited.update(instr.defined_registers())
+                inherited.update(instr.defined_predicates())
+
+    preds: dict[str, list[str]] = {label: [] for label in labels}
+    for label in labels:
+        for succ in view.successors.get(label, ()):
+            if succ in labels:
+                preds[succ].append(label)
+
+    ever_defined: set[Operand] = set(inherited)
+    for block in blocks:
+        for instr in block.instructions:
+            ever_defined.update(instr.defined_registers())
+            ever_defined.update(instr.defined_predicates())
+
+    # Forward "definitely assigned" fixpoint: IN = intersection of
+    # predecessor OUTs; unvisited predecessors are optimistic (top).
+    out_sets: dict[str, set[Operand] | None] = {
+        label: None for label in labels
+    }
+
+    def visited_outs(label: str) -> list[set[Operand]]:
+        outs: list[set[Operand]] = []
+        for pred in preds[label]:
+            out = out_sets[pred]
+            if out is not None:
+                outs.append(out)
+        return outs
+
+    worklist = [b.label for b in blocks]
+    while worklist:
+        label = worklist.pop(0)
+        pred_outs = visited_outs(label)
+        if preds[label] and pred_outs:
+            in_set = set.intersection(*pred_outs)
+        elif preds[label]:
+            in_set = set(ever_defined)  # all preds unvisited: optimistic
+        else:
+            in_set = set(inherited)
+        current = set(in_set)
+        for instr in block_by_label[label].instructions:
+            current.update(instr.defined_registers())
+            current.update(instr.defined_predicates())
+        if out_sets[label] is None or out_sets[label] != current:
+            out_sets[label] = current
+            for succ in view.successors.get(label, ()):
+                if succ in labels and succ not in worklist:
+                    worklist.append(succ)
+
+    diags: list[Diagnostic] = []
+    reported: set[Operand] = set()
+    for block in sorted(blocks, key=lambda b: order[b.label]):
+        pred_outs = visited_outs(block.label)
+        if preds[block.label] and pred_outs:
+            current = set.intersection(*pred_outs)
+        else:
+            current = set(inherited)
+        for instr in block.instructions:
+            uses: list[Operand] = list(instr.used_registers())
+            uses.extend(instr.used_predicates())
+            for operand in uses:
+                if operand in current or operand in reported:
+                    continue
+                reported.add(operand)
+                never = operand not in ever_defined
+                diags.append(Diagnostic(
+                    rule="WASP-R003" if never else "WASP-R005",
+                    message=f"{operand!r} is read but "
+                            + ("never defined in this stage" if never
+                               else "not defined on every path here"),
+                    kernel=view.program.name,
+                    stage=stage if stage >= 0 else None,
+                    block=block.label,
+                    instruction=repr(instr),
+                    hint="initialize the register before the loop or "
+                         "guard the use",
+                ))
+            current.update(instr.defined_registers())
+            current.update(instr.defined_predicates())
+    return diags

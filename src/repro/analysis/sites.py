@@ -1,0 +1,216 @@
+"""Site collection: where queues, barriers and SMEM are touched.
+
+One linear walk over the reachable blocks of each stage section gathers
+everything the protocol passes need: queue push/pop sites (including
+bulk pushes by WASP-TMA configuration instructions, whose entry count is
+data-dependent), barrier arrive/wait/sync sites (including the implicit
+arrive a ``TMA.TILE`` performs on completion via ``attrs['barrier']``),
+and shared-memory accesses with their target buffer resolved statically
+where possible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import ProgramView
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Immediate, QueueRef
+
+_TMA_OPCODES = (Opcode.TMA_TILE, Opcode.TMA_STREAM, Opcode.TMA_GATHER)
+
+#: Source-operand position of the SMEM address per opcode.
+_SMEM_ADDR_POS = {
+    Opcode.LDS: 0,
+    Opcode.STS: 0,
+    Opcode.LDGSTS: 1,
+    Opcode.TMA_TILE: 1,
+}
+
+
+@dataclass(frozen=True)
+class QueueSite:
+    """One static queue push or pop."""
+
+    queue_id: int
+    stage: int
+    block: str
+    instr: Instruction
+    is_push: bool
+    bulk: bool  # TMA configuration: pushes a data-dependent entry count
+
+
+@dataclass(frozen=True)
+class BarrierSite:
+    """One static barrier operation (or implicit TMA completion arrive)."""
+
+    barrier_id: str
+    stage: int
+    block: str
+    instr: Instruction
+    kind: str  # "arrive" | "wait" | "sync"
+
+
+@dataclass(frozen=True)
+class SmemAccess:
+    """One static shared-memory access with its resolved target."""
+
+    stage: int
+    block: str
+    instr: Instruction
+    is_write: bool
+    buffer: str | None       # resolved buffer name, None if unresolvable
+    address: int | None      # statically known word address, if immediate
+
+
+@dataclass
+class PipelineSites:
+    """Everything the protocol passes consume, from one walk."""
+
+    queue_sites: list[QueueSite] = field(default_factory=list)
+    barrier_sites: list[BarrierSite] = field(default_factory=list)
+    smem_accesses: list[SmemAccess] = field(default_factory=list)
+
+    # -- queue views -----------------------------------------------------
+
+    def queue_ids(self) -> set[int]:
+        return {s.queue_id for s in self.queue_sites}
+
+    def pushes(self, queue_id: int) -> list[QueueSite]:
+        return [s for s in self.queue_sites
+                if s.queue_id == queue_id and s.is_push]
+
+    def pops(self, queue_id: int) -> list[QueueSite]:
+        return [s for s in self.queue_sites
+                if s.queue_id == queue_id and not s.is_push]
+
+    # -- barrier views ---------------------------------------------------
+
+    def barrier_ids(self, kind: str | None = None) -> set[str]:
+        return {
+            s.barrier_id for s in self.barrier_sites
+            if kind is None or s.kind == kind
+        }
+
+    def barrier_stages(self, barrier_id: str, kind: str) -> set[int]:
+        return {
+            s.stage for s in self.barrier_sites
+            if s.barrier_id == barrier_id and s.kind == kind
+        }
+
+    def sync_ids_by_stage(self) -> dict[int, set[str]]:
+        by_stage: dict[int, set[str]] = {}
+        for site in self.barrier_sites:
+            if site.kind == "sync":
+                by_stage.setdefault(site.stage, set()).add(site.barrier_id)
+        return by_stage
+
+
+def collect_sites(view: ProgramView) -> PipelineSites:
+    """Walk every reachable block once and gather all protocol sites."""
+    sites = PipelineSites()
+    buffers = view.program.smem_buffers
+    for stage, section in view.sections.items():
+        for block in section.blocks:
+            if block.label not in view.reachable:
+                continue
+            for instr in block.instructions:
+                _collect_queue_ops(sites, stage, block.label, instr)
+                _collect_barrier_ops(sites, stage, block.label, instr)
+                _collect_smem_access(
+                    sites, stage, block.label, instr, buffers
+                )
+    return sites
+
+
+def _collect_queue_ops(
+    sites: PipelineSites, stage: int, block: str, instr: Instruction
+) -> None:
+    bulk = instr.opcode in _TMA_OPCODES
+    if isinstance(instr.dst, QueueRef):
+        sites.queue_sites.append(
+            QueueSite(instr.dst.queue_id, stage, block, instr,
+                      is_push=True, bulk=bulk)
+        )
+    for ref in instr.queue_pops():
+        sites.queue_sites.append(
+            QueueSite(ref.queue_id, stage, block, instr,
+                      is_push=False, bulk=bulk)
+        )
+
+
+def _collect_barrier_ops(
+    sites: PipelineSites, stage: int, block: str, instr: Instruction
+) -> None:
+    if instr.opcode is Opcode.BAR_ARRIVE:
+        kind = "arrive"
+    elif instr.opcode is Opcode.BAR_WAIT:
+        kind = "wait"
+    elif instr.opcode is Opcode.BAR_SYNC:
+        kind = "sync"
+    else:
+        # TMA transfers arrive a barrier on completion (machine model).
+        tma_barrier = instr.attrs.get("barrier")
+        if instr.opcode in _TMA_OPCODES and tma_barrier:
+            sites.barrier_sites.append(
+                BarrierSite(str(tma_barrier), stage, block, instr, "arrive")
+            )
+        return
+    assert instr.barrier_id is not None
+    sites.barrier_sites.append(
+        BarrierSite(instr.barrier_id, stage, block, instr, kind)
+    )
+
+
+def _collect_smem_access(
+    sites: PipelineSites,
+    stage: int,
+    block: str,
+    instr: Instruction,
+    buffers: dict[str, tuple[int, int]],
+) -> None:
+    pos = _SMEM_ADDR_POS.get(instr.opcode)
+    if pos is None:
+        return
+    info = instr.info
+    is_write = info.writes_shared
+    if not is_write and not info.reads_shared:
+        return
+    address: int | None = None
+    operand = instr.srcs[pos] if pos < len(instr.srcs) else None
+    if isinstance(operand, Immediate) and isinstance(operand.value, int):
+        address = operand.value
+    buffer = _resolve_buffer(instr, address, buffers)
+    sites.smem_accesses.append(
+        SmemAccess(stage, block, instr, is_write, buffer, address)
+    )
+
+
+def _resolve_buffer(
+    instr: Instruction,
+    address: int | None,
+    buffers: dict[str, tuple[int, int]],
+) -> str | None:
+    """Which declared buffer an access targets, or ``None`` if unknown.
+
+    Resolution order: the builder/compiler's ``smem_buffer`` attribute
+    (survives double buffering — copy-B accesses keep their original
+    buffer name, which conservatively groups both copies under one
+    name), then an immediate address inside a declared buffer's range.
+    Programs with SMEM but no declared buffers fall into a single
+    anonymous region so cross-stage analysis still applies.
+    """
+    tagged = instr.attrs.get("smem_buffer")
+    if isinstance(tagged, str) and tagged in buffers:
+        return tagged
+    if address is not None:
+        for name, (base, words) in buffers.items():
+            if base <= address < base + words:
+                return name
+        if not buffers:
+            return "__smem__"
+        return None
+    if not buffers:
+        return "__smem__"
+    return None

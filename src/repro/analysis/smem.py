@@ -1,0 +1,165 @@
+"""Shared-memory race detector (rules WASP-S001..S003, double-buffer
+aware).
+
+Groups every STS/LDS/LDGSTS/TMA.TILE access by its target buffer (the
+builder's ``smem_buffer`` tag, or the declared buffer containing an
+immediate address) and demands ordering evidence between any two stages
+that touch the same buffer with at least one write:
+
+* a full thread-block ``BAR.SYNC`` both stages execute, or
+* an arrive/wait barrier pair crossing the two stages in the
+  write->read direction (the tile protocol's ``<key>_filled``), and —
+  when the writer writes inside a loop, i.e. across generations — the
+  read->write direction as well (``<key>_empty``, which double
+  buffering routes through the partner copy's section).
+
+Missing write->read ordering is an error; missing reverse (WAR)
+ordering across generations is a warning, because a sufficiently deep
+buffer can legally tolerate it.  Accesses whose target cannot be
+resolved statically are reported once per stage at info severity
+(``WASP-S003``) and excluded — a deliberate false-negative gap.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import ProgramView, section_loops
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.sites import PipelineSites, SmemAccess
+
+
+def check_smem(
+    view: ProgramView,
+    sites: PipelineSites,
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    diags.extend(_check_bounds(view, sites))
+    if len(view.stages) > 1:
+        diags.extend(_check_races(view, sites))
+    return diags
+
+
+def _check_bounds(
+    view: ProgramView, sites: PipelineSites
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    total = view.program.smem_words
+    for access in sites.smem_accesses:
+        if access.address is None:
+            continue
+        if access.address < 0 or access.address >= max(total, 0):
+            diags.append(Diagnostic(
+                rule="WASP-S002",
+                message=f"SMEM {'store' if access.is_write else 'load'} "
+                        f"at word {access.address} is outside the "
+                        f"program's {total}-word footprint",
+                kernel=view.program.name,
+                stage=access.stage if access.stage >= 0 else None,
+                block=access.block,
+                instruction=repr(access.instr),
+            ))
+    return diags
+
+
+def _check_races(
+    view: ProgramView, sites: PipelineSites
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    kernel = view.program.name
+
+    unresolved_reported: set[int] = set()
+    by_buffer: dict[str, list[SmemAccess]] = {}
+    for access in sites.smem_accesses:
+        if access.stage < 0:
+            continue
+        if access.buffer is None:
+            if access.stage not in unresolved_reported:
+                unresolved_reported.add(access.stage)
+                diags.append(Diagnostic(
+                    rule="WASP-S003",
+                    message="SMEM access with register address and no "
+                            "buffer tag; race analysis skips it",
+                    kernel=kernel,
+                    stage=access.stage,
+                    block=access.block,
+                    instruction=repr(access.instr),
+                    hint="tag the access with smem_buffer= in the "
+                         "builder",
+                ))
+            continue
+        by_buffer.setdefault(access.buffer, []).append(access)
+
+    sync_by_stage = sites.sync_ids_by_stage()
+    loops_cache: dict[int, set[str]] = {}
+
+    def loop_blocks(stage: int) -> set[str]:
+        if stage not in loops_cache:
+            blocks: set[str] = set()
+            for loop in section_loops(view, stage):
+                blocks.update(loop.body)
+            loops_cache[stage] = blocks
+        return loops_cache[stage]
+
+    for buffer in sorted(by_buffer):
+        accesses = by_buffer[buffer]
+        writer_stages = sorted({a.stage for a in accesses if a.is_write})
+        toucher_stages = sorted({a.stage for a in accesses})
+        for writer in writer_stages:
+            for other in toucher_stages:
+                if other == writer:
+                    continue
+                if _shares_sync(sync_by_stage, writer, other):
+                    continue
+                if not _ordered(sites, src=writer, dst=other):
+                    diags.append(Diagnostic(
+                        rule="WASP-S001",
+                        message=f"buffer {buffer!r} is written by stage "
+                                f"{writer} and touched by stage {other} "
+                                "with no arrive/wait pair ordering the "
+                                "write before the access",
+                        kernel=kernel,
+                        stage=writer,
+                        hint="insert a filled-style barrier: arrive in "
+                             f"stage {writer} after the writes, wait in "
+                             f"stage {other} before its accesses",
+                    ))
+                    continue
+                writes_in_loop = any(
+                    a.is_write and a.stage == writer
+                    and a.block in loop_blocks(writer)
+                    for a in accesses
+                )
+                if writes_in_loop and not _ordered(
+                    sites, src=other, dst=writer
+                ):
+                    diags.append(Diagnostic(
+                        rule="WASP-S001",
+                        message=f"buffer {buffer!r} is rewritten by stage "
+                                f"{writer} across generations but stage "
+                                f"{other} never signals it back "
+                                "(write-after-read hazard)",
+                        severity=Severity.WARNING,
+                        kernel=kernel,
+                        stage=writer,
+                        hint="insert an empty-style barrier: arrive in "
+                             f"stage {other} when done, wait in stage "
+                             f"{writer} before refilling",
+                    ))
+    return diags
+
+
+def _shares_sync(
+    sync_by_stage: dict[int, set[str]], a: int, b: int
+) -> bool:
+    return bool(
+        sync_by_stage.get(a, set()) & sync_by_stage.get(b, set())
+    )
+
+
+def _ordered(sites: PipelineSites, src: int, dst: int) -> bool:
+    """True when some barrier is arrived in ``src`` and waited in ``dst``."""
+    for barrier_id in sites.barrier_ids("arrive"):
+        if src in sites.barrier_stages(barrier_id, "arrive") and (
+            dst in sites.barrier_stages(barrier_id, "wait")
+        ):
+            return True
+    return False

@@ -1,0 +1,79 @@
+"""Static pipeline verifier: one entry point over the four passes.
+
+``verify_program`` runs without executing anything: structural (CFG)
+validation first, then — when the CFG is sound — the queue-protocol,
+deadlock, SMEM-race and resource passes over the stage-partitioned
+program view.  Programs without a :class:`ThreadBlockSpec` get the
+single-stage subset (hygiene, bounds, resources, use-before-def).
+
+``verify_or_raise`` is the compiler's opt-out post-pass: any
+error-severity diagnostic raises :class:`repro.errors.VerificationError`
+carrying the full report.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import build_view
+from repro.analysis.deadlock import check_deadlock
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport
+from repro.analysis.queues import check_queues
+from repro.analysis.resources import VerifyLimits, check_resources
+from repro.analysis.sites import collect_sites
+from repro.analysis.smem import check_smem
+from repro.core.specs import ThreadBlockSpec
+from repro.errors import VerificationError
+from repro.isa.program import Program
+
+
+def verify_program(
+    program: Program,
+    limits: VerifyLimits | None = None,
+) -> DiagnosticReport:
+    """Run every static-analysis pass over ``program``.
+
+    Never raises on findings — the report carries them.  Structural
+    breakage severe enough to invalidate the CFG (duplicate labels,
+    unresolved branch targets) short-circuits the protocol passes,
+    since stage partitioning would be meaningless.
+    """
+    limits = limits or VerifyLimits()
+    report = DiagnosticReport()
+
+    structural = program.structural_diagnostics()
+    report.extend(structural)
+    if any(d.rule in ("WASP-C001", "WASP-C002", "WASP-C004")
+           for d in structural):
+        return report
+
+    view = build_view(program)
+    sites = collect_sites(view)
+    spec = program.tb_spec if isinstance(
+        program.tb_spec, ThreadBlockSpec
+    ) else None
+
+    report.extend(check_queues(view, sites, spec))
+    report.extend(check_deadlock(view, sites, spec))
+    report.extend(check_smem(view, sites))
+    report.extend(check_resources(view, spec, limits))
+    return report
+
+
+def verify_or_raise(
+    program: Program,
+    limits: VerifyLimits | None = None,
+) -> DiagnosticReport:
+    """Verify and raise :class:`VerificationError` on any error finding."""
+    report = verify_program(program, limits)
+    errors = report.errors
+    if errors:
+        raise VerificationError(
+            f"{program.name!r} failed static pipeline verification "
+            f"with {len(errors)} error(s); first: {errors[0].format()}",
+            diagnostics=list(report),
+        )
+    return report
+
+
+def structural_error(diag: Diagnostic) -> VerificationError:
+    """A :class:`VerificationError` wrapping one structural diagnostic."""
+    return VerificationError(diag.format(), diagnostics=[diag])

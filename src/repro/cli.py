@@ -8,6 +8,8 @@ Examples::
     python -m repro fig18 --scale 0.25 --no-cache
     python -m repro profile gemm --trace-out trace.json
     python -m repro fig14 --profile --trace-out fig14.json
+    python -m repro lint --all --json-out lint.json
+    python -m repro lint pointnet bert
 """
 
 from __future__ import annotations
@@ -132,6 +134,70 @@ def build_profile_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static pipeline verification: compile each kernel "
+                    "and run the queue-protocol, deadlock, SMEM-race and "
+                    "resource passes without executing anything.  Exits "
+                    "non-zero when any error-severity diagnostic fires.",
+    )
+    parser.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmark names to lint (default with --all or no names: "
+             "every registered benchmark)",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="lint every registered benchmark (explicit form of the "
+             "no-argument default, for scripts)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="workload scale factor (default 0.25; findings are "
+             "scale-independent for all current workloads)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the full diagnostic report as JSON (CI archives "
+             "this as an artifact)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list kernels that verified clean",
+    )
+    return parser
+
+
+def run_lint(argv: list[str]) -> int:
+    """``repro lint [benchmarks…]``: registry-wide static verification."""
+    args = build_lint_parser().parse_args(argv)
+
+    from repro.analysis.lint import lint_benchmarks
+    from repro.workloads.registry import all_benchmarks
+
+    known = set(all_benchmarks())
+    names = None if args.all or not args.benchmarks else args.benchmarks
+    if names:
+        unknown = [n for n in names if n not in known]
+        if unknown:
+            raise SystemExit(
+                f"unknown benchmark(s) {unknown}; choose from: "
+                + ", ".join(sorted(known))
+            )
+
+    start = time.time()
+    result = lint_benchmarks(names, scale=args.scale)
+    print(result.to_text(verbose=args.verbose))
+    print(f"[linted {len(result.kernels)} kernel(s) in "
+          f"{time.time() - start:.1f}s]")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=2)
+        print(f"[wrote lint JSON to {args.json_out}]")
+    return 0 if result.clean else 1
+
+
 def _configure_cache(args: argparse.Namespace) -> None:
     from repro.experiments.runner import configure_global_cache
     from repro.fexec.trace_store import TraceStore
@@ -191,6 +257,7 @@ def run_profile(argv: list[str]) -> int:
             + (" (specialized)" if result.used_specialized else "")
         )
         print(profreport.profile_text(result.sim, title=title))
+        print(_verifier_summary(result, kernel))
         if profiler.dropped_events:
             print(
                 f"note: ring buffer dropped {profiler.dropped_events} "
@@ -231,6 +298,23 @@ def run_profile(argv: list[str]) -> int:
     return 0
 
 
+def _verifier_summary(result, kernel) -> str:
+    """One-line static-verifier status for a profiled kernel.
+
+    The compiler already verified (and would have raised) during
+    compilation; re-running the passes here is cheap and also covers
+    kernels that fell back to the original program.
+    """
+    from repro.analysis import verify_program
+
+    compile_result = getattr(result, "compile_result", None)
+    program = (
+        compile_result.program if compile_result is not None
+        else kernel.program
+    )
+    return verify_program(program).summary_line()
+
+
 def _run_one(artifact: str, args: argparse.Namespace) -> None:
     from repro.experiments.parallel import last_report
     from repro.experiments.reporting import format_cache_report
@@ -247,6 +331,14 @@ def _run_one(artifact: str, args: argparse.Namespace) -> None:
         )
     print(result.to_text())
     print(f"\n[{artifact} regenerated in {time.time() - start:.1f}s]")
+    if artifact != "table4":
+        from repro.analysis.lint import lint_benchmarks
+
+        lint = lint_benchmarks(args.benchmarks, scale=args.scale)
+        line = lint.summary_line()
+        if not lint.clean:
+            line += "  (details: python -m repro lint)"
+        print(line)
     report = last_report()
     if report is not None:
         print(format_cache_report(report))
@@ -300,6 +392,8 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "profile":
         return run_profile(argv[1:])
+    if argv and argv[0] == "lint":
+        return run_lint(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(k) for k in _ARTIFACTS)
@@ -307,6 +401,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"  {key.ljust(width)}  {_ARTIFACTS[key]}")
         print("\n  profile   Pipeline profiler "
               "(repro profile --help)")
+        print("  lint      Static pipeline verifier "
+              "(repro lint --help)")
         return 0
 
     _configure_cache(args)

@@ -10,6 +10,8 @@ arrive/wait barrier metadata derived from the buffering transformation.
 
 from __future__ import annotations
 
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.verifier import structural_error
 from repro.core.compiler.regalloc import compact_registers
 from repro.core.compiler.stagesplit import StageProgram, partner_tile_key
 from repro.core.specs import (
@@ -168,7 +170,13 @@ def _collect_queues(
     queues = []
     for queue_id in sorted(push_stage):
         if queue_id not in pop_stage:
-            raise CompilerError(f"queue {queue_id} pushed but never popped")
+            raise structural_error(Diagnostic(
+                rule="WASP-Q003",
+                message=f"queue {queue_id} is pushed (stage "
+                        f"{push_stage[queue_id]}) but never popped",
+                stage=push_stage[queue_id],
+                hint="every queue needs exactly one consumer stage",
+            ))
         queues.append(
             NamedQueueSpec(
                 queue_id=queue_id,
@@ -179,7 +187,14 @@ def _collect_queues(
         )
     orphan_pops = set(pop_stage) - set(push_stage)
     if orphan_pops:
-        raise CompilerError(f"queues {sorted(orphan_pops)} popped, never pushed")
+        first = min(orphan_pops)
+        raise structural_error(Diagnostic(
+            rule="WASP-Q003",
+            message=f"queues {sorted(orphan_pops)} are popped but never "
+                    "pushed",
+            stage=pop_stage[first],
+            hint="every queue needs exactly one producer stage",
+        ))
     return queues
 
 

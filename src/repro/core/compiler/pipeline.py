@@ -52,6 +52,11 @@ class WaspCompilerOptions:
     max_stages: int = 16
     queue_size: int = 32
     smem_capacity_words: int = DEFAULT_SMEM_CAPACITY_WORDS
+    #: Run the static pipeline verifier as a post-pass and raise
+    #: :class:`repro.errors.VerificationError` on error-severity
+    #: findings.  Opt-out: ``repro lint`` disables it to report findings
+    #: instead of raising.
+    verify: bool = True
 
 
 @dataclass
@@ -70,6 +75,9 @@ class CompileResult:
     offload: OffloadReport | None = None
     dropped_stages: int = 0
     reason: str = ""
+    #: Static-verifier findings over the compiled program (empty when
+    #: verification is disabled or found nothing).
+    diagnostics: list = field(default_factory=list)
 
     @property
     def uniform_registers(self) -> int:
@@ -149,6 +157,13 @@ class WaspCompiler:
             smem_words=work.smem_words,
             smem_buffers=work.smem_buffers,
         )
+        diagnostics: list = []
+        if opts.verify:
+            # Imported lazily: the analysis package partitions the
+            # *output* of this compiler and is otherwise independent.
+            from repro.analysis.verifier import verify_or_raise
+
+            diagnostics = list(verify_or_raise(combined))
         return CompileResult(
             original=program,
             program=combined,
@@ -161,6 +176,7 @@ class WaspCompiler:
             double_buffered=double_buffered,
             offload=offload,
             dropped_stages=dropped,
+            diagnostics=diagnostics,
         )
 
 

@@ -16,11 +16,35 @@ class IsaError(ReproError):
 
 
 class ValidationError(IsaError):
-    """A program failed structural validation (CFG, operands, barriers)."""
+    """A program failed structural validation (CFG, operands, barriers).
+
+    Carries the structural :class:`repro.analysis.Diagnostic` records
+    that produced it (empty for legacy call sites raising on a single
+    condition).
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
 
 
 class CompilerError(ReproError):
     """The WASP compiler could not transform a kernel."""
+
+
+class VerificationError(CompilerError):
+    """Static pipeline verification found error-severity diagnostics.
+
+    Raised by the compiler's opt-out verification post-pass and by
+    structural checks during finalization.  ``diagnostics`` holds the
+    full :class:`repro.analysis.Diagnostic` list (errors and warnings)
+    so callers and the ``repro lint`` CLI can render or serialize the
+    findings.
+    """
+
+    def __init__(self, message: str, diagnostics: list | None = None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])
 
 
 class IneligibleKernelError(CompilerError):

@@ -167,42 +167,98 @@ class Program:
 
         Checks: non-empty, unique labels, branch targets resolve, every
         path ends in EXIT, barriers have ids, terminators only at block
-        ends.
+        ends.  The raised error carries the full structural
+        :class:`~repro.analysis.Diagnostic` list (same rule ids the
+        static verifier reports).
         """
+        diags = self.structural_diagnostics()
+        if diags:
+            raise ValidationError(
+                f"program {self.name!r} failed structural validation: "
+                + "; ".join(d.message for d in diags),
+                diagnostics=diags,
+            )
+
+    def structural_diagnostics(self) -> list:
+        """CFG-structure findings as ``WASP-C*`` diagnostics.
+
+        Returns an empty list for a well-formed program.  Rule ids:
+        C001 empty, C002 duplicate labels, C003 branch mid-block,
+        C004 unresolved branch target, C005 falls off the end / dangling
+        successor.
+        """
+        from repro.analysis.diagnostics import Diagnostic
+
+        diags: list[Diagnostic] = []
         if not self.blocks:
-            raise ValidationError(f"program {self.name!r} is empty")
+            return [Diagnostic(
+                rule="WASP-C001",
+                message="program has no basic blocks",
+                kernel=self.name,
+            )]
         labels = [b.label for b in self.blocks]
-        if len(set(labels)) != len(labels):
-            raise ValidationError(f"duplicate block labels in {self.name!r}")
+        seen: set[str] = set()
+        for label in labels:
+            if label in seen:
+                diags.append(Diagnostic(
+                    rule="WASP-C002",
+                    message=f"duplicate block label {label!r}",
+                    kernel=self.name,
+                    block=label,
+                ))
+            seen.add(label)
         label_set = set(labels)
         for blk in self.blocks:
             for pos, instr in enumerate(blk.instructions):
                 if instr.info.is_branch and pos != len(blk.instructions) - 1:
-                    raise ValidationError(
-                        f"{self.name!r}: branch mid-block in {blk.label!r}"
-                    )
-                if instr.opcode is Opcode.BRA and instr.target not in label_set:
-                    raise ValidationError(
-                        f"{self.name!r}: unresolved branch target "
-                        f"{instr.target!r} in {blk.label!r}"
-                    )
-        self._check_all_paths_exit(label_set)
+                    diags.append(Diagnostic(
+                        rule="WASP-C003",
+                        message=f"branch mid-block in {blk.label!r}",
+                        kernel=self.name,
+                        block=blk.label,
+                        instruction=repr(instr),
+                    ))
+                if (instr.opcode is Opcode.BRA
+                        and instr.target not in label_set):
+                    diags.append(Diagnostic(
+                        rule="WASP-C004",
+                        message=f"unresolved branch target "
+                                f"{instr.target!r} in {blk.label!r}",
+                        kernel=self.name,
+                        block=blk.label,
+                        instruction=repr(instr),
+                    ))
+        if not any(d.rule in ("WASP-C002", "WASP-C004") for d in diags):
+            diags.extend(self._exit_diagnostics())
+        return diags
 
-    def _check_all_paths_exit(self, label_set: set[str]) -> None:
+    def _exit_diagnostics(self) -> list:
+        from repro.analysis.diagnostics import Diagnostic
+
+        diags: list[Diagnostic] = []
         block_by_label = self.block_map()
         for blk in self.blocks:
             succs = self.successors(blk)
             term = blk.terminator
             if not succs and (term is None or term.opcode is not Opcode.EXIT):
-                raise ValidationError(
-                    f"{self.name!r}: block {blk.label!r} falls off the "
-                    "end of the program without EXIT"
-                )
+                diags.append(Diagnostic(
+                    rule="WASP-C005",
+                    message=f"block {blk.label!r} falls off the end of "
+                            "the program without EXIT",
+                    kernel=self.name,
+                    block=blk.label,
+                    hint="append EXIT or an unconditional branch",
+                ))
             for succ in succs:
                 if succ not in block_by_label:
-                    raise ValidationError(
-                        f"{self.name!r}: dangling successor {succ!r}"
-                    )
+                    diags.append(Diagnostic(
+                        rule="WASP-C005",
+                        message=f"dangling successor {succ!r} of block "
+                                f"{blk.label!r}",
+                        kernel=self.name,
+                        block=blk.label,
+                    ))
+        return diags
 
     # -- rendering ----------------------------------------------------------
 
