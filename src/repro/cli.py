@@ -10,6 +10,9 @@ Examples::
     python -m repro fig14 --profile --trace-out fig14.json
     python -m repro lint --all --json-out lint.json
     python -m repro lint pointnet bert
+    python -m repro fuzz --seeds 200 --jobs 4
+    python -m repro fuzz --seeds 50 --inject drop-push --expect-failures
+    python -m repro fuzz --corpus
 """
 
 from __future__ import annotations
@@ -167,6 +170,162 @@ def build_lint_parser() -> argparse.ArgumentParser:
         help="also list kernels that verified clean",
     )
     return parser
+
+
+def build_fuzz_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro fuzz",
+        description="Differential fuzzing: random pipeline kernels run "
+                    "unspecialized and after WaspCompiler stage-splitting "
+                    "must produce bit-identical memory, consistent "
+                    "instruction accounting, and obey the simulator's "
+                    "metamorphic timing invariants.  Failing seeds are "
+                    "shrunk to minimal repros.  Exits non-zero on any "
+                    "failure (inverted by --expect-failures).",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=100,
+        help="number of seeds to fuzz (default 100)",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0,
+        help="first seed; the run covers seed-base .. seed-base+seeds-1",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or 1); results are "
+             "identical for any value",
+    )
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without minimizing them first",
+    )
+    parser.add_argument(
+        "--no-metamorphic", action="store_true",
+        help="skip the simulator timing invariants (differential "
+             "functional oracle only)",
+    )
+    parser.add_argument(
+        "--inject", default=None, metavar="MUTATION",
+        help="corrupt every specialized program with a named mutation "
+             "(drop-pop, drop-push, arrive-to-wait) — the oracle "
+             "self-test; combine with --expect-failures",
+    )
+    parser.add_argument(
+        "--expect-failures", action="store_true",
+        help="invert the exit code: succeed only when failures were "
+             "caught (CI uses this to prove the oracle detects "
+             "injected bugs)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="stop dispatching new seeds after this much wall-clock "
+             "time (the nightly CI budget)",
+    )
+    parser.add_argument(
+        "--corpus", action="store_true",
+        help="replay every committed corpus entry instead of fuzzing "
+             "fresh seeds",
+    )
+    parser.add_argument(
+        "--save-corpus", action="store_true",
+        help="persist (minimized) failures as corpus entries",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="corpus directory (default: tests/corpus/)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the fuzz report as machine-readable JSON",
+    )
+    _add_cache_flags(parser)
+    return parser
+
+
+def run_fuzz_cli(argv: list[str]) -> int:
+    """``repro fuzz``: the differential fuzzing harness."""
+    args = build_fuzz_parser().parse_args(argv)
+    _configure_cache(args)
+
+    from pathlib import Path
+
+    from repro.fuzz import run_fuzz
+    from repro.fuzz.mutate import MUTATIONS
+
+    if args.inject is not None and args.inject not in MUTATIONS:
+        raise SystemExit(
+            f"unknown mutation {args.inject!r}; choose from: "
+            + ", ".join(sorted(MUTATIONS))
+        )
+    corpus_dir = Path(args.corpus_dir) if args.corpus_dir else None
+
+    if args.corpus:
+        return _replay_corpus(corpus_dir, args.json_out)
+
+    report = run_fuzz(
+        seeds=args.seeds,
+        seed_base=args.seed_base,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+        inject=args.inject,
+        metamorphic=not args.no_metamorphic,
+        time_budget=args.time_budget,
+        save_corpus=args.save_corpus,
+        corpus_dir=corpus_dir,
+    )
+    print("\n".join(report.summary_lines()))
+    for path in report.corpus_paths:
+        print(f"[saved corpus entry {path}]")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_json(), handle, indent=2)
+        print(f"[wrote fuzz JSON to {args.json_out}]")
+    failed = bool(report.failures) or report.seeds_run == 0
+    if args.expect_failures:
+        if failed:
+            print("[expected failures: oracle caught the injected bug]")
+            return 0
+        print("[expected failures but every seed passed — the oracle "
+              "missed the injected bug]")
+        return 1
+    return 1 if failed else 0
+
+
+def _replay_corpus(corpus_dir, json_out: str | None) -> int:
+    """Replay every committed corpus entry against its expectation."""
+    from repro.fuzz.corpus import load_corpus, replay_entry
+
+    entries = load_corpus(corpus_dir)
+    if not entries:
+        print("corpus: no entries found")
+        return 0
+    bad = 0
+    docs = []
+    start = time.time()
+    for entry in entries:
+        failures = replay_entry(entry)
+        if entry.expect == "pass":
+            ok = not failures
+            detail = "; ".join(f.summary() for f in failures)
+        else:
+            want = entry.expect.split(":", 1)[1]
+            ok = any(f.check == want for f in failures)
+            detail = f"expected a {want} failure, got " + (
+                ", ".join(sorted({f.check for f in failures})) or "a pass"
+            )
+        status = "ok" if ok else "VIOLATED"
+        print(f"  {entry.name}: {status}" + ("" if ok else f" ({detail})"))
+        docs.append({"entry": entry.name, "ok": ok,
+                     "failures": [f.to_json() for f in failures]})
+        bad += 0 if ok else 1
+    print(f"corpus: {len(entries) - bad}/{len(entries)} entries hold "
+          f"({time.time() - start:.1f}s)")
+    if json_out:
+        with open(json_out, "w", encoding="utf-8") as handle:
+            json.dump({"entries": docs}, handle, indent=2)
+        print(f"[wrote corpus JSON to {json_out}]")
+    return 1 if bad else 0
 
 
 def run_lint(argv: list[str]) -> int:
@@ -394,6 +553,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_profile(argv[1:])
     if argv and argv[0] == "lint":
         return run_lint(argv[1:])
+    if argv and argv[0] == "fuzz":
+        return run_fuzz_cli(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(k) for k in _ARTIFACTS)
@@ -403,6 +564,8 @@ def main(argv: list[str] | None = None) -> int:
               "(repro profile --help)")
         print("  lint      Static pipeline verifier "
               "(repro lint --help)")
+        print("  fuzz      Differential fuzzing harness "
+              "(repro fuzz --help)")
         return 0
 
     _configure_cache(args)

@@ -1,0 +1,99 @@
+"""Deliberate pipeline corruptions.
+
+These mutations model real stage-split compiler bugs and are the
+harness's self-test: applied to a *correctly* specialized program, each
+one must be caught twice over —
+
+* **statically** by :func:`repro.analysis.verify_program` (the WASP-Q /
+  WASP-D protocol rules), and
+* **dynamically** by the differential oracle (deadlock, memory
+  divergence, or queue push/pop imbalance).
+
+A mutation that only one of the two catches exposes a blind spot in
+the other; ``tests/test_fuzz_mutation_agreement.py`` pins the expected
+agreement.
+
+Each mutation function takes a specialized :class:`Program`, returns a
+mutated **clone** (the input is never modified), or ``None`` when the
+program has no applicable site (e.g. no arrive/wait barriers).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.operands import Immediate, QueueRef, Register
+from repro.isa.program import Program
+
+
+def _clone_sites(program: Program) -> tuple[Program, list[Instruction]]:
+    mutant = program.clone()
+    return mutant, [i for blk in mutant.blocks for i in blk.instructions]
+
+
+def drop_pop(program: Program) -> Program | None:
+    """Replace the first queue *pop* operand with the constant 0.
+
+    The consumer stops draining the queue but keeps computing (with a
+    wrong value), so the producer's pushes go unconsumed: statically an
+    unbalanced queue protocol, dynamically a memory divergence and a
+    push/pop imbalance.
+    """
+    mutant, instrs = _clone_sites(program)
+    for instr in instrs:
+        for pos, src in enumerate(instr.srcs):
+            if isinstance(src, QueueRef):
+                instr.srcs[pos] = Immediate(0)
+                return mutant
+    return None
+
+
+def drop_push(program: Program) -> Program | None:
+    """Redirect the first queue *push* into a dead register.
+
+    The producer computes the value but never enqueues it; the consumer
+    blocks on an empty queue forever.  Statically an unbalanced queue
+    protocol, dynamically a deadlock.
+    """
+    mutant, instrs = _clone_sites(program)
+    fresh = Register(mutant.max_register_index() + 1)
+    for instr in instrs:
+        if isinstance(instr.dst, QueueRef):
+            instr.dst = fresh
+            return mutant
+    return None
+
+
+def arrive_to_wait(program: Program) -> Program | None:
+    """Flip the first ``BAR.ARRIVE`` into a ``BAR.WAIT``.
+
+    Both sides of the split barrier now wait and nobody arrives:
+    statically a barrier-pairing violation, dynamically a deadlock.
+    """
+    mutant, instrs = _clone_sites(program)
+    for instr in instrs:
+        if instr.opcode is Opcode.BAR_ARRIVE:
+            instr.opcode = Opcode.BAR_WAIT
+            return mutant
+    return None
+
+
+#: name -> mutation function, the vocabulary of ``repro fuzz --inject``.
+MUTATIONS: dict[str, Callable[[Program], Program | None]] = {
+    "drop-pop": drop_pop,
+    "drop-push": drop_push,
+    "arrive-to-wait": arrive_to_wait,
+}
+
+
+def apply_mutation(program: Program, name: str) -> Program | None:
+    """Apply mutation ``name``; ``None`` when it has no site here."""
+    try:
+        mutation = MUTATIONS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown mutation {name!r}; choose from {sorted(MUTATIONS)}"
+        ) from None
+    return mutation(program)

@@ -1,0 +1,331 @@
+"""The differential oracle: baseline vs. WASP, end to end.
+
+For one generated spec the oracle:
+
+1. functionally executes the unspecialized kernel (the reference);
+2. compiles it with each of a deterministic set of compiler option
+   tuples and, where specialization succeeds, functionally executes the
+   specialized program;
+3. asserts **bit-identical output memory images**;
+4. asserts **consistent dynamic instruction accounting** — the
+   specialized run performs exactly as many global stores, its queue
+   pushes balance its pops per queue, and it does strictly more dynamic
+   instructions only through replication/queue overhead (never fewer);
+5. replays both traces on the timing simulator and asserts the PR 2
+   stall invariant (``sum(stalls) + issued == active warp-cycles``) as
+   a standing assertion, plus the metamorphic timing invariants of
+   :mod:`repro.fuzz.metamorphic`;
+6. cross-checks every failure against the static verifier, so a
+   runtime-caught bug that the verifier misses is reported as a
+   verifier blind spot (a rule it should have had).
+
+Passing verdicts are persisted content-addressed in the trace store
+(``.repro_cache/`` by default), so repeated fuzz runs over identical
+seeds are cache hits, not recomputation.  Failures are never cached.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.errors import CompilerError, ReproError, VerificationError
+from repro.fexec.machine import run_kernel
+from repro.fexec.trace import KernelTrace
+from repro.fuzz.generator import build_kernel
+from repro.fuzz.spec import SPEC_VERSION, FuzzSpec
+from repro.isa.opcodes import Opcode
+from repro.workloads.base import Kernel
+
+#: Bumped whenever oracle checks change; invalidates cached verdicts.
+ORACLE_VERSION = 1
+
+#: Deterministic compiler option tuples every spec is compiled under.
+OPTION_SETS: tuple[tuple[str, WaspCompilerOptions], ...] = (
+    ("sw-queues", WaspCompilerOptions(enable_tma_offload=False)),
+    ("full", WaspCompilerOptions()),
+    ("two-stage", WaspCompilerOptions(max_stages=2)),
+    ("tiny-queues", WaspCompilerOptions(queue_size=2,
+                                        enable_tma_offload=False)),
+)
+
+
+@dataclass
+class FuzzFailure:
+    """One oracle violation, with enough context to replay it."""
+
+    seed: int
+    spec: FuzzSpec
+    check: str            # e.g. 'memory-divergence', 'deadlock'
+    message: str
+    options_name: str = ""
+    #: Static-verifier cross-check: rule ids that fired on the failing
+    #: compiled program.  Empty means the verifier was blind to this
+    #: failure — a candidate for a new rule.
+    verifier_rules: list[str] = field(default_factory=list)
+    #: Set by the shrinker: the smallest spec still failing this check.
+    minimized: FuzzSpec | None = None
+
+    def to_json(self) -> dict[str, Any]:
+        doc = {
+            "seed": self.seed,
+            "spec": self.spec.to_json(),
+            "check": self.check,
+            "message": self.message,
+            "options": self.options_name,
+            "verifier_rules": list(self.verifier_rules),
+        }
+        if self.minimized is not None:
+            doc["minimized"] = self.minimized.to_json()
+        return doc
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "FuzzFailure":
+        return cls(
+            seed=int(doc["seed"]),
+            spec=FuzzSpec.from_json(doc["spec"]),
+            check=doc["check"],
+            message=doc.get("message", ""),
+            options_name=doc.get("options", ""),
+            verifier_rules=list(doc.get("verifier_rules", [])),
+            minimized=(
+                FuzzSpec.from_json(doc["minimized"])
+                if doc.get("minimized") else None
+            ),
+        )
+
+    def summary(self) -> str:
+        spec = self.minimized or self.spec
+        tag = " (minimized)" if self.minimized else ""
+        return (
+            f"[{self.check}] {spec.describe()}{tag} "
+            f"options={self.options_name or '-'}: {self.message}"
+        )
+
+
+@dataclass
+class OracleReport:
+    """Outcome of the oracle on one spec."""
+
+    spec: FuzzSpec
+    failures: list[FuzzFailure] = field(default_factory=list)
+    specialized_under: list[str] = field(default_factory=list)
+    from_cache: bool = False
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+
+def verdict_key(kernel: Kernel, metamorphic: bool) -> str:
+    """Content-addressed key for a cached passing verdict."""
+    from repro.experiments.runner import _options_key
+
+    opts = "|".join(
+        f"{name}={_options_key(o)!r}" for name, o in OPTION_SETS
+    )
+    text = (
+        f"fuzz-verdict|{kernel.content_digest()}|{opts}"
+        f"|meta={int(metamorphic)}|v={ORACLE_VERSION}.{SPEC_VERSION}"
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _store():
+    from repro.experiments.runner import GLOBAL_CACHE
+
+    return GLOBAL_CACHE.store
+
+
+def _count_opcode(traces: list[KernelTrace], *opcodes: Opcode) -> int:
+    return sum(
+        1
+        for trace in traces
+        for warp in trace.warps
+        for di in warp.instrs
+        if di.opcode in opcodes
+    )
+
+
+def _queue_balance(traces: list[KernelTrace]) -> dict[int, tuple[int, int]]:
+    """Per queue id: (pushes, pops) over all thread blocks.
+
+    TMA jobs push ``num_vectors`` entries per dynamic instruction; a
+    plain queue destination pushes one.
+    """
+    balance: dict[int, list[int]] = {}
+    for trace in traces:
+        for warp in trace.warps:
+            for di in warp.instrs:
+                if di.queue_push is not None:
+                    entry = balance.setdefault(di.queue_push, [0, 0])
+                    if di.tma_job is not None:
+                        entry[0] += int(di.tma_job.get("num_vectors", 0))
+                    else:
+                        entry[0] += 1
+                if di.queue_pop is not None:
+                    entry = balance.setdefault(di.queue_pop, [0, 0])
+                    entry[1] += 1
+    return {qid: (p, c) for qid, (p, c) in balance.items()}
+
+
+def _verifier_rules(program) -> list[str]:
+    """Rule ids the static verifier reports for ``program``."""
+    from repro.analysis import verify_program
+
+    try:
+        report = verify_program(program)
+    except ReproError as exc:
+        return [f"verifier-crash:{type(exc).__name__}"]
+    return sorted({d.rule for d in report.diagnostics})
+
+
+def run_oracle(
+    spec: FuzzSpec,
+    metamorphic: bool = True,
+    inject: str | None = None,
+    use_verdict_cache: bool = True,
+) -> OracleReport:
+    """Run every oracle check for ``spec``.
+
+    ``inject`` names a :mod:`repro.fuzz.mutate` corruption applied to
+    each compiled program before execution — the self-test proving the
+    oracle catches real stage-split bugs.  Injected runs never touch
+    the verdict cache.
+    """
+    report = OracleReport(spec=spec)
+    kernel = build_kernel(spec)
+
+    cacheable = use_verdict_cache and inject is None
+    store = _store() if cacheable else None
+    key = verdict_key(kernel, metamorphic) if store is not None else None
+    if store is not None and key is not None:
+        payload = store.load(key)
+        if payload is not None and payload.get("fuzz_verdict") == "pass":
+            report.from_cache = True
+            report.specialized_under = list(
+                payload.get("specialized_under", [])
+            )
+            return report
+
+    reference = kernel.image_factory()
+    ref_result = run_kernel(kernel.program, reference, kernel.launch)
+    want = reference.snapshot()
+    ref_stores = _count_opcode(ref_result.traces, Opcode.STG)
+
+    for name, options in OPTION_SETS:
+        _check_one_variant(
+            report, kernel, name, options, want, ref_stores, inject,
+        )
+
+    if metamorphic and not report.failures:
+        from repro.fuzz.metamorphic import check_timing_invariants
+
+        report.failures.extend(
+            check_timing_invariants(spec, kernel, ref_result.traces)
+        )
+
+    if store is not None and key is not None and report.passed:
+        store.save(
+            key, [], fuzz_verdict="pass",
+            specialized_under=report.specialized_under,
+        )
+    return report
+
+
+def _check_one_variant(
+    report: OracleReport,
+    kernel: Kernel,
+    name: str,
+    options: WaspCompilerOptions,
+    want: np.ndarray,
+    ref_stores: int,
+    inject: str | None,
+) -> None:
+    spec = report.spec
+
+    def fail(check: str, message: str, program=None) -> None:
+        report.failures.append(FuzzFailure(
+            seed=spec.seed,
+            spec=spec,
+            check=check,
+            message=message,
+            options_name=name,
+            verifier_rules=(
+                _verifier_rules(program) if program is not None else []
+            ),
+        ))
+
+    try:
+        result = WaspCompiler(options).compile(
+            kernel.program, num_warps=kernel.launch.num_warps
+        )
+    except VerificationError as exc:
+        report.failures.append(FuzzFailure(
+            seed=spec.seed, spec=spec, check="static-verifier",
+            message=str(exc)[:300], options_name=name,
+            verifier_rules=sorted({d.rule for d in exc.diagnostics}),
+        ))
+        return
+    except CompilerError as exc:
+        fail("compiler-crash", f"{type(exc).__name__}: {exc}")
+        return
+    if not result.specialized:
+        return
+    report.specialized_under.append(name)
+
+    program = result.program
+    if inject is not None:
+        from repro.fuzz.mutate import apply_mutation
+
+        mutated = apply_mutation(program, inject)
+        if mutated is None:
+            return  # no applicable site in this variant
+        program = mutated
+
+    launch = replace(
+        kernel.launch,
+        num_warps=kernel.launch.num_warps * result.num_stages,
+    )
+    image = kernel.image_factory()
+    try:
+        spec_result = run_kernel(program, image, launch)
+    except ReproError as exc:
+        fail(
+            "deadlock" if "deadlock" in type(exc).__name__.lower()
+            else "runtime-crash",
+            f"{type(exc).__name__}: {str(exc)[:300]}",
+            program=program,
+        )
+        return
+
+    if not np.array_equal(image.snapshot(), want):
+        got, exp = image.snapshot(), want
+        diff = np.flatnonzero(got != exp)
+        first = int(diff[0]) if diff.size else -1
+        fail(
+            "memory-divergence",
+            f"{diff.size} words differ; first at {first} "
+            f"(got {got[first]!r}, want {exp[first]!r})",
+            program=program,
+        )
+        return
+
+    spec_stores = _count_opcode(spec_result.traces, Opcode.STG)
+    if spec_stores != ref_stores:
+        fail(
+            "instr-accounting",
+            f"dynamic STG count changed: {ref_stores} -> {spec_stores}",
+            program=program,
+        )
+    for qid, (pushes, pops) in _queue_balance(spec_result.traces).items():
+        if pushes != pops:
+            fail(
+                "queue-balance",
+                f"queue {qid}: {pushes} pushes vs {pops} pops",
+                program=program,
+            )

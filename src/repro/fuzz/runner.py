@@ -1,0 +1,223 @@
+"""The ``repro fuzz`` fan-out.
+
+Seeds are independent oracle tasks, fanned out over the same process
+pool discipline as the experiment sweeps (:mod:`repro.experiments.
+parallel`): job count comes from ``--jobs``, else ``REPRO_JOBS``, else
+1; workers share the content-addressed trace store, where passing
+oracle verdicts are cached so re-fuzzing identical seeds costs one
+disk read per seed; and results are assembled **by seed**, so
+``--jobs N`` reports exactly what ``--jobs 1`` reports.
+
+Failing seeds are shrunk in the parent (serial — shrinking is a
+search, not a map) and optionally persisted to the corpus.  An
+optional wall-clock budget makes the nightly CI job time-boxed: seeds
+are processed in order and the run stops cleanly once the budget is
+spent, reporting how many seeds it actually covered.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.experiments.parallel import _worker_init, resolve_jobs
+from repro.experiments.runner import GLOBAL_CACHE
+from repro.fuzz.oracle import FuzzFailure, OracleReport, run_oracle
+from repro.fuzz.shrink import shrink_spec
+from repro.fuzz.spec import generate_spec
+
+
+@dataclass(frozen=True)
+class FuzzTask:
+    """One seed's oracle run; plain data so it can cross processes."""
+
+    seed: int
+    metamorphic: bool = True
+    inject: str | None = None
+    use_verdict_cache: bool = True
+
+
+@dataclass
+class FuzzReport:
+    """Everything one fuzz run learned."""
+
+    seeds_requested: int = 0
+    seeds_run: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    budget_exhausted: bool = False
+    verdict_cache_hits: int = 0
+    #: Compiler option-set name -> number of seeds it specialized.
+    specialized_counts: dict[str, int] = field(default_factory=dict)
+    skeleton_counts: dict[str, int] = field(default_factory=dict)
+    failures: list[FuzzFailure] = field(default_factory=list)
+    corpus_paths: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return self.seeds_run > 0 and not self.failures
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "seeds_requested": self.seeds_requested,
+            "seeds_run": self.seeds_run,
+            "jobs": self.jobs,
+            "wall_seconds": round(self.wall_seconds, 3),
+            "budget_exhausted": self.budget_exhausted,
+            "verdict_cache_hits": self.verdict_cache_hits,
+            "specialized_counts": dict(
+                sorted(self.specialized_counts.items())
+            ),
+            "skeleton_counts": dict(sorted(self.skeleton_counts.items())),
+            "failures": [f.to_json() for f in self.failures],
+            "corpus_paths": list(self.corpus_paths),
+            "passed": self.passed,
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"fuzz: {self.seeds_run}/{self.seeds_requested} seeds "
+            f"(jobs={self.jobs}, {self.wall_seconds:.1f}s"
+            + (", budget exhausted" if self.budget_exhausted else "")
+            + f", {self.verdict_cache_hits} verdict cache hits)",
+            "  skeletons: " + ", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.skeleton_counts.items())
+            ),
+            "  specialized under: " + (", ".join(
+                f"{name}={count}"
+                for name, count in sorted(self.specialized_counts.items())
+            ) or "none"),
+        ]
+        if self.failures:
+            lines.append(f"  FAILURES ({len(self.failures)}):")
+            lines.extend("    " + f.summary() for f in self.failures)
+        else:
+            lines.append("  no failures")
+        return lines
+
+
+def _run_fuzz_task(task: FuzzTask) -> tuple[int, OracleReport]:
+    report = run_oracle(
+        generate_spec(task.seed),
+        metamorphic=task.metamorphic,
+        inject=task.inject,
+        use_verdict_cache=task.use_verdict_cache,
+    )
+    return task.seed, report
+
+
+def run_fuzz(
+    seeds: int = 100,
+    seed_base: int = 0,
+    jobs: int | None = None,
+    shrink: bool = True,
+    inject: str | None = None,
+    metamorphic: bool = True,
+    time_budget: float | None = None,
+    save_corpus: bool = False,
+    corpus_dir: Path | None = None,
+    use_verdict_cache: bool = True,
+) -> FuzzReport:
+    """Fuzz seeds ``seed_base .. seed_base + seeds - 1``.
+
+    ``inject`` corrupts every specialized program with the named
+    mutation — the expected outcome is then *failures on every seed
+    that specializes*, which is how CI proves the oracle detects real
+    stage-split bugs.  ``time_budget`` (seconds) stops dispatching new
+    seeds once exceeded; already-running seeds finish and are counted.
+    """
+    jobs = resolve_jobs(jobs)
+    tasks = [
+        FuzzTask(
+            seed=seed_base + i,
+            metamorphic=metamorphic,
+            inject=inject,
+            use_verdict_cache=use_verdict_cache,
+        )
+        for i in range(seeds)
+    ]
+    report = FuzzReport(
+        seeds_requested=seeds, jobs=jobs,
+    )
+    start = time.perf_counter()
+    results: dict[int, OracleReport] = {}
+
+    def out_of_time() -> bool:
+        return (
+            time_budget is not None
+            and time.perf_counter() - start > time_budget
+        )
+
+    if jobs == 1:
+        for task in tasks:
+            if out_of_time():
+                report.budget_exhausted = True
+                break
+            seed, oracle = _run_fuzz_task(task)
+            results[seed] = oracle
+    else:
+        store = GLOBAL_CACHE.store
+        cache_dir = str(store.cache_dir) if store is not None else None
+        with ProcessPoolExecutor(
+            max_workers=jobs,
+            initializer=_worker_init,
+            initargs=(cache_dir, store is not None),
+        ) as pool:
+            pending = {pool.submit(_run_fuzz_task, t) for t in tasks}
+            try:
+                while pending:
+                    done, pending = wait(
+                        pending, timeout=0.5,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        seed, oracle = future.result()
+                        results[seed] = oracle
+                    if out_of_time() and pending:
+                        report.budget_exhausted = True
+                        break
+            finally:
+                for future in pending:
+                    future.cancel()
+
+    # Assemble by seed so the report is independent of completion order.
+    for seed in sorted(results):
+        oracle = results[seed]
+        report.seeds_run += 1
+        if oracle.from_cache:
+            report.verdict_cache_hits += 1
+        skeleton = oracle.spec.skeleton
+        report.skeleton_counts[skeleton] = (
+            report.skeleton_counts.get(skeleton, 0) + 1
+        )
+        for name in oracle.specialized_under:
+            report.specialized_counts[name] = (
+                report.specialized_counts.get(name, 0) + 1
+            )
+        report.failures.extend(oracle.failures)
+
+    if shrink:
+        for failure in report.failures:
+            minimized = shrink_spec(
+                failure.spec, failure.check, inject=inject,
+            )
+            if minimized != failure.spec:
+                failure.minimized = minimized
+
+    if save_corpus and report.failures:
+        from repro.fuzz.corpus import save_failure
+
+        seen: set[str] = set()
+        for failure in report.failures:
+            path = save_failure(failure, corpus_dir=corpus_dir,
+                                inject=inject)
+            if str(path) not in seen:
+                seen.add(str(path))
+                report.corpus_paths.append(str(path))
+
+    report.wall_seconds = time.perf_counter() - start
+    return report

@@ -1,0 +1,113 @@
+"""The failure corpus: save, load, and replay — including the entries
+committed under ``tests/corpus/``, which this test suite replays on
+every run (the PR gate replays them in CI as well)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz.corpus import (
+    CorpusEntry,
+    default_corpus_dir,
+    load_corpus,
+    replay_entry,
+    save_failure,
+)
+from repro.fuzz.oracle import FuzzFailure
+from repro.fuzz.spec import generate_spec
+
+
+def _entry(seed=0, check="deadlock", inject="drop-push"):
+    return CorpusEntry(
+        spec=generate_spec(seed),
+        check=check,
+        expect=f"fail:{check}",
+        inject=inject,
+        note="unit test entry",
+    )
+
+
+def test_entry_json_round_trip():
+    entry = _entry()
+    back = CorpusEntry.from_json(
+        json.loads(json.dumps(entry.to_json()))
+    )
+    assert back.spec == entry.spec
+    assert back.check == entry.check
+    assert back.expect == entry.expect
+    assert back.inject == entry.inject
+    assert back.note == entry.note
+
+
+def test_save_and_load(tmp_path):
+    entry = _entry()
+    path = entry.save(tmp_path)
+    assert path.name == f"{entry.name}.json"
+    loaded = load_corpus(tmp_path)
+    assert len(loaded) == 1
+    assert loaded[0].spec == entry.spec
+
+
+def test_load_missing_directory_is_empty(tmp_path):
+    assert load_corpus(tmp_path / "nope") == []
+
+
+def test_save_failure_injected_expects_failure(tmp_path):
+    failure = FuzzFailure(
+        seed=3, spec=generate_spec(3), check="deadlock",
+        message="x", options_name="sw-queues",
+    )
+    save_failure(failure, corpus_dir=tmp_path, inject="drop-push")
+    (entry,) = load_corpus(tmp_path)
+    assert entry.expect == "fail:deadlock"
+    assert entry.inject == "drop-push"
+
+
+def test_save_failure_genuine_expects_pass_and_prefers_minimized(tmp_path):
+    failure = FuzzFailure(
+        seed=3, spec=generate_spec(3), check="memory-divergence",
+        message="x", minimized=generate_spec(99),
+    )
+    save_failure(failure, corpus_dir=tmp_path)
+    (entry,) = load_corpus(tmp_path)
+    assert entry.expect == "pass"
+    assert entry.spec == generate_spec(99)
+
+
+def test_replay_injected_entry_catches_the_bug():
+    entry = _entry(seed=0, check="deadlock", inject="drop-push")
+    failures = replay_entry(entry)
+    assert any(f.check == "deadlock" for f in failures)
+
+
+def test_replay_clean_entry_passes():
+    entry = CorpusEntry(
+        spec=generate_spec(0), check="none", expect="pass",
+    )
+    assert replay_entry(entry) == []
+
+
+@pytest.mark.parametrize(
+    "entry",
+    load_corpus(),
+    ids=lambda entry: entry.name,
+)
+def test_committed_corpus_entries_hold(entry):
+    """Every committed corpus entry must replay as it expects: clean
+    for fixed bugs, caught for injected detector self-tests."""
+    failures = replay_entry(entry)
+    if entry.expect == "pass":
+        assert not failures, [f.summary() for f in failures]
+    else:
+        want = entry.expect.split(":", 1)[1]
+        assert any(f.check == want for f in failures), (
+            f"{entry.name}: expected {want}, got "
+            f"{sorted({f.check for f in failures}) or 'a pass'}"
+        )
+
+
+def test_committed_corpus_exists():
+    assert default_corpus_dir().is_dir()
+    assert load_corpus(), "tests/corpus/ must ship at least one entry"

@@ -1,0 +1,106 @@
+"""Verifier/oracle agreement under deliberate pipeline corruption.
+
+Satellite requirement: corrupting a generated specialized program
+(dropping a pop, dropping a push, flipping arrive→wait) must be caught
+**twice** — statically by :func:`repro.analysis.verify_program` and
+dynamically by the differential oracle.  Disagreement in either
+direction is a blind spot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import verify_program
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.fuzz.generator import build_kernel
+from repro.fuzz.mutate import MUTATIONS, apply_mutation
+from repro.fuzz.oracle import run_oracle
+from repro.fuzz.spec import generate_spec
+
+#: (mutation, seed with an applicable site, expected dynamic checks,
+#: expected static rule prefix).  Seed skeletons are pinned by the
+#: generator determinism tests: 2 = streaming (queue push/pop sites),
+#: 7 = tiled (arrive/wait barrier sites under TMA offload).
+CASES = [
+    ("drop-pop", 2, {"memory-divergence", "queue-balance", "deadlock"},
+     "WASP-Q"),
+    ("drop-push", 2, {"deadlock", "runtime-crash"}, "WASP-"),
+    ("arrive-to-wait", 7, {"deadlock"}, "WASP-D"),
+]
+
+
+def _specialized(seed, mutation):
+    """First compiled variant with a site for ``mutation``."""
+    kernel = build_kernel(generate_spec(seed))
+    for options in (
+        WaspCompilerOptions(enable_tma_offload=False),
+        WaspCompilerOptions(),
+    ):
+        result = WaspCompiler(options).compile(
+            kernel.program, num_warps=kernel.launch.num_warps
+        )
+        if not result.specialized:
+            continue
+        mutated = apply_mutation(result.program, mutation)
+        if mutated is not None:
+            return result.program, mutated
+    pytest.fail(f"no {mutation} site in any variant of seed {seed}")
+
+
+@pytest.mark.parametrize(
+    "mutation,seed,checks,rule_prefix",
+    CASES, ids=[c[0] for c in CASES],
+)
+def test_verifier_and_oracle_agree(mutation, seed, checks, rule_prefix):
+    clean, mutated = _specialized(seed, mutation)
+
+    # Statically: the verifier is quiet on the clean program and raises
+    # error-severity diagnostics on the corrupted one.
+    assert not verify_program(clean).errors
+    report = verify_program(mutated)
+    assert report.errors, f"verifier blind to {mutation}"
+    assert any(
+        d.rule.startswith(rule_prefix) for d in report.errors
+    ), f"expected a {rule_prefix}* rule, got {sorted(report.rules_fired())}"
+
+    # Dynamically: the oracle catches the same corruption at runtime.
+    oracle = run_oracle(
+        generate_spec(seed), metamorphic=False, inject=mutation,
+        use_verdict_cache=False,
+    )
+    assert oracle.failures, f"oracle blind to {mutation}"
+    seen = {f.check for f in oracle.failures}
+    assert seen & checks, f"unexpected failure modes {seen}"
+
+    # Agreement recorded on the failure itself: the cross-check found
+    # static rules for at least one runtime failure.
+    assert any(f.verifier_rules for f in oracle.failures)
+
+
+def test_mutations_return_none_without_a_site():
+    """A streaming kernel without TMA offload has no arrive/wait
+    barriers, so the barrier mutation must decline, not crash."""
+    kernel = build_kernel(generate_spec(2))
+    result = WaspCompiler(
+        WaspCompilerOptions(enable_tma_offload=False)
+    ).compile(kernel.program, num_warps=kernel.launch.num_warps)
+    assert result.specialized
+    assert apply_mutation(result.program, "arrive-to-wait") is None
+
+
+def test_mutations_do_not_modify_the_input():
+    kernel = build_kernel(generate_spec(2))
+    result = WaspCompiler(
+        WaspCompilerOptions(enable_tma_offload=False)
+    ).compile(kernel.program, num_warps=kernel.launch.num_warps)
+    before = result.program.canonical_encoding()
+    for mutation in MUTATIONS:
+        apply_mutation(result.program, mutation)
+        assert result.program.canonical_encoding() == before
+
+
+def test_unknown_mutation_rejected():
+    kernel = build_kernel(generate_spec(0))
+    with pytest.raises(ValueError, match="unknown mutation"):
+        apply_mutation(kernel.program, "flip-everything")

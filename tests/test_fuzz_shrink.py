@@ -1,0 +1,93 @@
+"""The shrinker: greedy, deterministic, floor-seeking."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.fuzz.oracle import FuzzFailure
+from repro.fuzz.shrink import shrink_spec
+from repro.fuzz.spec import generate_spec
+
+
+def _fake_failure(spec, check="boom"):
+    return FuzzFailure(seed=spec.seed, spec=spec, check=check, message="")
+
+
+def test_shrinks_to_the_predicate_floor():
+    """With a synthetic reproducer that fails whenever num_warps >= 2
+    and iters >= 3, the minimum is exactly (2, 3)."""
+    spec = generate_spec(0)
+    spec = replace(spec, num_warps=4, iters=5, num_tbs=3, fp_ops=4)
+
+    def reproduce(candidate):
+        if candidate.num_warps >= 2 and candidate.iters >= 3:
+            return [_fake_failure(candidate)]
+        return []
+
+    small = shrink_spec(spec, "boom", reproduce=reproduce)
+    assert (small.num_warps, small.iters) == (2, 3)
+    assert small.num_tbs == 1 and small.fp_ops == 0
+
+
+def test_shrinking_is_deterministic():
+    spec = replace(generate_spec(5), num_warps=4, iters=5)
+
+    def reproduce(candidate):
+        return [_fake_failure(candidate)] if candidate.iters >= 2 else []
+
+    assert (shrink_spec(spec, "boom", reproduce=reproduce)
+            == shrink_spec(spec, "boom", reproduce=reproduce))
+
+
+def test_returns_original_when_nothing_smaller_fails():
+    spec = generate_spec(0)
+
+    def reproduce(candidate):
+        return []  # only the original fails; no candidate reproduces
+
+    assert shrink_spec(spec, "boom", reproduce=reproduce) == spec
+
+
+def test_only_matching_checks_count_as_reproduction():
+    spec = replace(generate_spec(0), num_warps=4)
+
+    def reproduce(candidate):
+        return [_fake_failure(candidate, check="different-bug")]
+
+    assert shrink_spec(spec, "boom", reproduce=reproduce) == spec
+
+
+def test_broken_candidates_are_skipped():
+    spec = replace(generate_spec(0), num_warps=4, iters=4)
+
+    def reproduce(candidate):
+        if candidate.num_warps == 1:
+            raise RuntimeError("candidate does not even build")
+        return [_fake_failure(candidate)]
+
+    small = shrink_spec(spec, "boom", reproduce=reproduce)
+    assert small.num_warps == 2  # stopped above the broken floor
+    assert small.iters == 1
+
+
+def test_attempt_budget_is_respected():
+    spec = replace(generate_spec(0), num_warps=4, iters=5, num_tbs=3)
+    calls = []
+
+    def reproduce(candidate):
+        calls.append(candidate)
+        return [_fake_failure(candidate)]
+
+    shrink_spec(spec, "boom", reproduce=reproduce, max_attempts=3)
+    assert len(calls) <= 3
+
+
+def test_real_injected_failure_minimizes():
+    """End to end: a drop-push deadlock on a real generated kernel
+    shrinks to the smallest kernel that still deadlocks."""
+    spec = generate_spec(0)
+    small = shrink_spec(spec, "deadlock", inject="drop-push")
+    assert small.num_warps == 1
+    assert small.num_tbs == 1
+    assert small.iters == 1
+    assert small.fp_ops == 0
