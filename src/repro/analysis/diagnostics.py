@@ -118,6 +118,26 @@ RULES: dict[str, tuple[Severity, str]] = {
 }
 
 
+def rules_table_lines() -> list[str]:
+    """The rule catalogue as aligned text (``repro lint --list-rules``).
+
+    One line per registered rule, grouped by family, so the printed
+    table is always exactly the rules the verifier can fire — DESIGN.md
+    §6c is held to the same registry by a doc-sync test.
+    """
+    lines = ["rule        sev      description",
+             "----        ---      -----------"]
+    family = ""
+    for rule in sorted(RULES):
+        severity, description = RULES[rule]
+        prefix = rule.split("-")[1][0]  # C / Q / D / S / R
+        if family and prefix != family:
+            lines.append("")
+        family = prefix
+        lines.append(f"{rule:<11} {severity.value:<8} {description}")
+    return lines
+
+
 @dataclass(frozen=True)
 class Diagnostic:
     """One finding of one analysis rule, with its location and a hint."""

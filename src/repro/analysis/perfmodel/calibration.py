@@ -1,0 +1,188 @@
+"""Calibration: the model against the simulator, row by row.
+
+The performance model is only useful while its predictions track the
+simulator it abstracts.  This module produces the evidence: a
+:class:`CalibrationRow` per (kernel, configuration) comparing predicted
+against simulated cycles, bottleneck-stage agreement, and the
+total-variation distance between the two stall mixes.  The test suite
+asserts the headline tolerances (every registry kernel within
+:data:`CYCLE_TOLERANCE`, at least :data:`AGREEMENT_FLOOR` bottleneck
+agreement); sweep and advise artifacts embed the same rows so every
+cached experiment doubles as a calibration sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.perfmodel.model import Prediction, predict_traces
+from repro.profiling.stalls import dominant_stage, mix_distance
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.experiments.configs import EvalConfig
+    from repro.experiments.runner import TraceCache
+    from repro.workloads.base import Kernel
+
+#: Maximum |predicted - simulated| / simulated per kernel (ISSUE
+#: acceptance: +-25%; the registry currently calibrates to ~10% max).
+CYCLE_TOLERANCE = 0.25
+
+#: Minimum fraction of kernels whose predicted bottleneck stage matches
+#: the simulator's dominant stall attribution.
+AGREEMENT_FLOOR = 0.90
+
+
+@dataclass
+class CalibrationRow:
+    """One predicted-vs-simulated comparison."""
+
+    name: str
+    config_name: str
+    predicted_cycles: float
+    simulated_cycles: float
+    predicted_stage: int | None
+    simulated_stage: int | None
+    stall_mix_distance: float
+
+    @property
+    def error(self) -> float:
+        """Relative cycle error against the simulator."""
+        if self.simulated_cycles <= 0:
+            return 0.0
+        return (
+            abs(self.predicted_cycles - self.simulated_cycles)
+            / self.simulated_cycles
+        )
+
+    @property
+    def bottleneck_agrees(self) -> bool:
+        return self.predicted_stage == self.simulated_stage
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "config": self.config_name,
+            "predicted_cycles": round(self.predicted_cycles, 2),
+            "simulated_cycles": round(self.simulated_cycles, 2),
+            "error": round(self.error, 4),
+            "predicted_stage": self.predicted_stage,
+            "simulated_stage": self.simulated_stage,
+            "bottleneck_agrees": self.bottleneck_agrees,
+            "stall_mix_distance": round(self.stall_mix_distance, 4),
+        }
+
+
+@dataclass
+class CalibrationReport:
+    """Aggregate over many rows, with the headline statistics."""
+
+    rows: list[CalibrationRow] = field(default_factory=list)
+
+    @property
+    def mean_error(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(r.error for r in self.rows) / len(self.rows)
+
+    @property
+    def max_error(self) -> float:
+        return max((r.error for r in self.rows), default=0.0)
+
+    @property
+    def agreement(self) -> float:
+        if not self.rows:
+            return 1.0
+        agreed = sum(1 for r in self.rows if r.bottleneck_agrees)
+        return agreed / len(self.rows)
+
+    def within(self, tolerance: float = CYCLE_TOLERANCE) -> int:
+        return sum(1 for r in self.rows if r.error <= tolerance)
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "rows": [r.to_json() for r in self.rows],
+            "mean_error": round(self.mean_error, 4),
+            "max_error": round(self.max_error, 4),
+            "agreement": round(self.agreement, 4),
+            "within_tolerance": self.within(),
+            "total": len(self.rows),
+        }
+
+
+def calibrate_kernel(
+    kernel: "Kernel",
+    config: "EvalConfig",
+    cache: "TraceCache | None" = None,
+) -> tuple[CalibrationRow, Prediction]:
+    """Compare model and simulator on one kernel under one config.
+
+    Both sides see the *same* traces: whichever variant (specialized or
+    plain) the simulator's per-kernel opt-in selected is the one the
+    model predicts, so the row isolates timing-model error from
+    variant-selection differences.
+    """
+    from repro.experiments.runner import (
+        GLOBAL_CACHE,
+        _compiler_options_for,
+        _gpu_for,
+        run_kernel,
+    )
+
+    store = cache if cache is not None else GLOBAL_CACHE
+    result = run_kernel(kernel, config, store)
+    gpu = _gpu_for(kernel, config)
+    if result.used_specialized:
+        options = _compiler_options_for(kernel, config)
+        entry = store.specialized(kernel, options)
+        traces = entry.traces if entry is not None else []
+    else:
+        traces = store.original(kernel).traces
+    prediction = predict_traces(traces, gpu, kernel_name=kernel.name)
+    row = CalibrationRow(
+        name=kernel.name,
+        config_name=config.name,
+        predicted_cycles=prediction.cycles,
+        simulated_cycles=result.cycles,
+        predicted_stage=prediction.bottleneck_stage,
+        simulated_stage=dominant_stage(result.sim.stall_cycles),
+        stall_mix_distance=mix_distance(
+            prediction.raw_stalls, result.sim.stall_cycles
+        ),
+    )
+    return row, prediction
+
+
+def calibrate_registry(
+    config: "EvalConfig",
+    scale: float = 0.25,
+    cache: "TraceCache | None" = None,
+    workloads: list[str] | None = None,
+) -> CalibrationReport:
+    """Calibrate over every kernel of the workload registry."""
+    from repro.workloads import all_benchmarks, get_benchmark
+
+    names = workloads if workloads is not None else all_benchmarks()
+    report = CalibrationReport()
+    for name in names:
+        benchmark = get_benchmark(name, scale=scale)
+        for kernel in benchmark.kernels:
+            row, _ = calibrate_kernel(kernel, config, cache)
+            report.rows.append(row)
+    return report
+
+
+def calibrate_fuzz_seed(
+    seed_spec: dict,
+    config: "EvalConfig",
+    cache: "TraceCache | None" = None,
+) -> CalibrationRow:
+    """Calibrate on one fuzz-corpus spec (JSON form, replayable)."""
+    from repro.fuzz.generator import build_kernel
+    from repro.fuzz.spec import FuzzSpec
+
+    spec = FuzzSpec.from_json(seed_spec)
+    kernel = build_kernel(spec)
+    row, _ = calibrate_kernel(kernel, config, cache)
+    row.name = f"seed={spec.seed}"
+    return row

@@ -169,7 +169,154 @@ def build_lint_parser() -> argparse.ArgumentParser:
         "--verbose", action="store_true",
         help="also list kernels that verified clean",
     )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the WASP-C/Q/D/S/R rule catalogue (id, severity, "
+             "description) and exit without linting anything",
+    )
     return parser
+
+
+def build_advise_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro advise",
+        description="Analytical pipeline advisor: predict each kernel's "
+                    "cycles with the static performance model, enumerate "
+                    "candidate configurations (queue depths, stage "
+                    "splits, TMA on/off), and suggest an options delta "
+                    "only when the predicted gain clears the margin.  "
+                    "No candidate is simulated; one simulation of the "
+                    "default configuration calibrates each row.",
+    )
+    parser.add_argument(
+        "benchmarks", nargs="+",
+        help="registered benchmark name(s) to advise on",
+    )
+    parser.add_argument(
+        "--config", default="WASP_GPU",
+        help="evaluation configuration name (default: WASP_GPU)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="workload scale factor (default 0.25)",
+    )
+    parser.add_argument(
+        "--margin", type=float, default=None,
+        help="minimum predicted relative gain before suggesting a "
+             "non-default configuration (default: the calibrated "
+             "SUGGESTION_MARGIN)",
+    )
+    parser.add_argument(
+        "--no-simulate", action="store_true",
+        help="skip the per-kernel calibration simulation (pure static "
+             "mode; rows carry no predicted-vs-simulated error)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the advise report as JSON "
+             "(schema repro-advise-report-v1)",
+    )
+    _add_cache_flags(parser)
+    return parser
+
+
+def run_advise(argv: list[str]) -> int:
+    """``repro advise <workload>``: analytical configuration advice."""
+    args = build_advise_parser().parse_args(argv)
+    _configure_cache(args)
+
+    from repro.analysis.perfmodel import SUGGESTION_MARGIN, advise_workload
+    from repro.workloads.registry import all_benchmarks
+
+    known = set(all_benchmarks())
+    unknown = [n for n in args.benchmarks if n not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark(s) {unknown}; choose from: "
+            + ", ".join(sorted(known))
+        )
+    config = _named_config(args.config)
+    margin = args.margin if args.margin is not None else SUGGESTION_MARGIN
+
+    start = time.time()
+    reports = []
+    for name in args.benchmarks:
+        report = advise_workload(
+            name,
+            config,
+            scale=args.scale,
+            margin=margin,
+            simulate=not args.no_simulate,
+        )
+        reports.append(report)
+        print(_advise_text(report))
+    if args.json_out:
+        doc = (
+            reports[0].to_json()
+            if len(reports) == 1
+            else {
+                "schema": "repro-advise-report-v1",
+                "reports": [r.to_json() for r in reports],
+            }
+        )
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2)
+        print(f"[wrote advise JSON to {args.json_out}]")
+    total = sum(len(r.kernels) for r in reports)
+    print(f"[advised {total} kernel(s) in {time.time() - start:.1f}s]")
+    return 0
+
+
+def _advise_text(report) -> str:
+    """Human-readable rendering of one workload's advice."""
+    lines = [f"advise: {report.workload} [{report.config_name}]"]
+    for advice in report.kernels:
+        lines.append(f"  {advice.kernel_name}:")
+        lines.append(
+            f"    predicted {advice.default_cycles:.0f} cycles; "
+            f"bottleneck stage "
+            f"{advice.default_prediction.bottleneck_stage} "
+            f"({advice.default_prediction.bottleneck_cause or 'none'})"
+        )
+        if advice.simulated_cycles is not None:
+            error = advice.predicted_error
+            lines.append(
+                f"    simulated {advice.simulated_cycles:.0f} cycles "
+                f"(model error {error:.1%})"
+            )
+        for line in advice.default_prediction.explanation:
+            lines.append(f"      {line}")
+        if advice.suggestion is None:
+            lines.append("    suggestion: keep the default options")
+            if advice.rejected_suggestion is not None:
+                from repro.core.compiler.pipeline import options_delta
+
+                delta = options_delta(
+                    advice.default_options,
+                    advice.rejected_suggestion.options,
+                )
+                lines.append(
+                    f"      (withheld {delta}: predicted faster but "
+                    f"simulated {advice.simulated_suggested_cycles:.0f} "
+                    f"cycles, slower than the default)"
+                )
+        else:
+            from repro.core.compiler.pipeline import options_delta
+
+            delta = options_delta(
+                advice.default_options, advice.suggestion.options
+            )
+            lines.append(
+                f"    suggestion: {delta} "
+                f"(predicted {advice.predicted_gain:.1%} faster)"
+            )
+            if advice.simulated_suggested_cycles is not None:
+                lines.append(
+                    f"      verified: simulated "
+                    f"{advice.simulated_suggested_cycles:.0f} cycles "
+                    f"under the suggestion"
+                )
+    return "\n".join(lines)
 
 
 def build_fuzz_parser() -> argparse.ArgumentParser:
@@ -331,6 +478,12 @@ def _replay_corpus(corpus_dir, json_out: str | None) -> int:
 def run_lint(argv: list[str]) -> int:
     """``repro lint [benchmarks…]``: registry-wide static verification."""
     args = build_lint_parser().parse_args(argv)
+
+    if args.list_rules:
+        from repro.analysis.diagnostics import rules_table_lines
+
+        print("\n".join(rules_table_lines()))
+        return 0
 
     from repro.analysis.lint import lint_benchmarks
     from repro.workloads.registry import all_benchmarks
@@ -555,6 +708,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_lint(argv[1:])
     if argv and argv[0] == "fuzz":
         return run_fuzz_cli(argv[1:])
+    if argv and argv[0] == "advise":
+        return run_advise(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(k) for k in _ARTIFACTS)
@@ -566,6 +721,8 @@ def main(argv: list[str] | None = None) -> int:
               "(repro lint --help)")
         print("  fuzz      Differential fuzzing harness "
               "(repro fuzz --help)")
+        print("  advise    Analytical pipeline advisor "
+              "(repro advise --help)")
         return 0
 
     _configure_cache(args)

@@ -11,6 +11,7 @@ report used by the evaluation harness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.core.compiler.buffering import (
     apply_double_buffering,
@@ -58,6 +59,43 @@ class WaspCompilerOptions:
     #: instead of raising.
     verify: bool = True
 
+    def to_json(self) -> dict[str, object]:
+        """Plain-data form (the ``repro advise`` report embeds these)."""
+        return {
+            "enable_streaming": self.enable_streaming,
+            "enable_tile": self.enable_tile,
+            "enable_tma_offload": self.enable_tma_offload,
+            "double_buffering": self.double_buffering,
+            "max_stages": self.max_stages,
+            "queue_size": self.queue_size,
+            "smem_capacity_words": self.smem_capacity_words,
+            "verify": self.verify,
+        }
+
+    @staticmethod
+    def from_json(data: dict[str, object]) -> "WaspCompilerOptions":
+        """Inverse of :meth:`to_json`; unknown keys are rejected."""
+        fields_ = WaspCompilerOptions().to_json().keys()
+        unknown = set(data) - set(fields_)
+        if unknown:
+            raise ValueError(
+                f"unknown compiler option(s): {sorted(unknown)}"
+            )
+        return WaspCompilerOptions(**data)  # type: ignore[arg-type]
+
+
+def options_delta(
+    base: WaspCompilerOptions, other: WaspCompilerOptions
+) -> dict[str, object]:
+    """The fields where ``other`` differs from ``base``.
+
+    This is what an advisor suggestion is: apply the delta to your
+    current options.  Empty dict means "keep what you have".
+    """
+    left = base.to_json()
+    right = other.to_json()
+    return {k: right[k] for k in right if right[k] != left[k]}
+
 
 @dataclass
 class CompileResult:
@@ -88,10 +126,29 @@ class CompileResult:
 
 
 class WaspCompiler:
-    """Automatic warp specialization for SASS-like kernels."""
+    """Automatic warp specialization for SASS-like kernels.
 
-    def __init__(self, options: WaspCompilerOptions | None = None) -> None:
+    ``on_compile`` is the advisory hook: a callable invoked with every
+    :class:`CompileResult` this compiler produces (specialized or not).
+    The performance-model advisor uses it to observe the pipeline shape
+    each candidate option set yields without re-walking compiler
+    internals; profiling and CI smoke jobs can attach loggers the same
+    way.  Hook exceptions propagate — a broken observer should fail
+    loudly, not silently skew advice.
+    """
+
+    def __init__(
+        self,
+        options: WaspCompilerOptions | None = None,
+        on_compile: "Callable[[CompileResult], None] | None" = None,
+    ) -> None:
         self.options = options or WaspCompilerOptions()
+        self.on_compile = on_compile
+
+    def _emit(self, result: CompileResult) -> CompileResult:
+        if self.on_compile is not None:
+            self.on_compile(result)
+        return result
 
     def compile(self, program: Program, num_warps: int) -> CompileResult:
         """Warp-specialize ``program`` for a ``num_warps``-warp block.
@@ -124,14 +181,14 @@ class WaspCompiler:
             enable_tile=opts.enable_tile,
         )
         if plan.num_stages <= 1 or not plan.loads:
-            return CompileResult(
+            return self._emit(CompileResult(
                 original=program,
                 program=program,
                 specialized=False,
                 plan=plan,
                 original_registers=original_registers,
                 reason="no extractable pipeline stages",
-            )
+            ))
 
         tag_keys(work)
         stages = build_stage_programs(work, plan)
@@ -140,14 +197,14 @@ class WaspCompiler:
             offload = offload_pipeline(stages)
         kept, dropped = drop_empty_stages(stages)
         if len(kept) <= 1:
-            return CompileResult(
+            return self._emit(CompileResult(
                 original=program,
                 program=program,
                 specialized=False,
                 plan=plan,
                 original_registers=original_registers,
                 reason="pipeline collapsed to a single stage",
-            )
+            ))
 
         combined = finalize_pipeline(
             name=program.name,
@@ -164,7 +221,7 @@ class WaspCompiler:
             from repro.analysis.verifier import verify_or_raise
 
             diagnostics = list(verify_or_raise(combined))
-        return CompileResult(
+        return self._emit(CompileResult(
             original=program,
             program=combined,
             specialized=True,
@@ -177,7 +234,7 @@ class WaspCompiler:
             offload=offload,
             dropped_stages=dropped,
             diagnostics=diagnostics,
-        )
+        ))
 
 
 def drop_empty_stages(

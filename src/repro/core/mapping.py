@@ -60,6 +60,31 @@ def map_warps(
     return round_robin_mapping(num_warps, num_processing_blocks)
 
 
+def rotate_mapping(
+    mapping: dict[int, int], offset: int, num_processing_blocks: int
+) -> dict[int, int]:
+    """Shift every assignment by ``offset`` blocks (mod P).
+
+    Both mappers deal each thread block's warps starting from
+    processing block 0, so a block whose warp count is not a multiple
+    of P systematically under-fills the high-numbered blocks — with
+    3-warp blocks on 4 processing blocks, block 3 never receives a
+    warp from *any* resident thread block and its issue slot idles for
+    the whole kernel.  Rotating each admitted block's mapping to start
+    at the currently least-loaded processing block keeps the intra-
+    block structure (round-robin adjacency, slice co-location) while
+    restoring work conservation at the placement level.
+    """
+    if num_processing_blocks <= 0:
+        raise SimulationError("need at least one processing block")
+    if offset % num_processing_blocks == 0:
+        return dict(mapping)
+    return {
+        warp: (pb + offset) % num_processing_blocks
+        for warp, pb in mapping.items()
+    }
+
+
 def register_footprint(
     spec: ThreadBlockSpec | None,
     num_warps: int,

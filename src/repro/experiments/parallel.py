@@ -50,6 +50,44 @@ class KernelTask:
     kernel: str
     config: EvalConfig
     config_index: int
+    #: Attach a static performance-model prediction to the result.
+    predict: bool = False
+
+
+@dataclass
+class PredictionRow:
+    """Predicted-vs-simulated cycles for one sweep row.
+
+    Plain data so it crosses the worker process boundary; every sweep
+    run with ``predict=True`` carries one row per (kernel, config) in
+    its :class:`SweepReport`, making cached sweeps double as
+    calibration samples.
+    """
+
+    benchmark: str
+    kernel: str
+    config_name: str
+    predicted_cycles: float
+    simulated_cycles: float
+
+    @property
+    def error(self) -> float:
+        if self.simulated_cycles <= 0:
+            return 0.0
+        return (
+            abs(self.predicted_cycles - self.simulated_cycles)
+            / self.simulated_cycles
+        )
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "kernel": self.kernel,
+            "config": self.config_name,
+            "predicted_cycles": round(self.predicted_cycles, 2),
+            "simulated_cycles": round(self.simulated_cycles, 2),
+            "predicted_error": round(self.error, 4),
+        }
 
 
 @dataclass
@@ -82,6 +120,8 @@ class SweepReport:
     stall_cycles: dict = field(default_factory=dict)
     issued_total: int = 0
     active_warp_cycles: float = 0.0
+    #: Predicted-vs-simulated per sweep row (``predict=True`` sweeps).
+    prediction_rows: list[PredictionRow] = field(default_factory=list)
 
     def merge(self, other: "SweepReport") -> None:
         self.jobs = max(self.jobs, other.jobs)
@@ -96,6 +136,7 @@ class SweepReport:
             )
         self.issued_total += other.issued_total
         self.active_warp_cycles += other.active_warp_cycles
+        self.prediction_rows.extend(other.prediction_rows)
 
     def add_sim(self, sim) -> None:
         """Fold one ``SimResult``'s stall attribution into the sweep."""
@@ -105,6 +146,19 @@ class SweepReport:
             )
         self.issued_total += sim.issued_total
         self.active_warp_cycles += sim.active_warp_cycles
+
+    def add_prediction(self, task: "KernelTask", result) -> None:
+        """Record the row's predicted-vs-simulated error, if any."""
+        prediction = getattr(result, "prediction", None)
+        if prediction is None:
+            return
+        self.prediction_rows.append(PredictionRow(
+            benchmark=task.benchmark,
+            kernel=task.kernel,
+            config_name=task.config.name,
+            predicted_cycles=prediction.cycles,
+            simulated_cycles=result.cycles,
+        ))
 
     def slowest_tasks(self, count: int = 5) -> list[TaskTiming]:
         return sorted(
@@ -214,7 +268,9 @@ def _run_sim_task(task: KernelTask):
     start = time.perf_counter()
     before = GLOBAL_CACHE.stats.snapshot()
     kernel = _task_kernel(task)
-    result = run_kernel(kernel, task.config, GLOBAL_CACHE)
+    result = run_kernel(
+        kernel, task.config, GLOBAL_CACHE, predict=task.predict
+    )
     # Kernels carry closure-based image factories that cannot be
     # pickled back; the parent reattaches its own Kernel object.
     result.kernel = None
@@ -237,6 +293,7 @@ def run_sweep(
     configs: list[EvalConfig],
     jobs: int | None = None,
     kernel_names: dict[str, list[str]] | None = None,
+    predict: bool = False,
 ) -> SweepResult:
     """Run every kernel of every benchmark under every configuration.
 
@@ -244,6 +301,9 @@ def run_sweep(
     kernels (e.g. Figure 3 times a single kernel).  Results are keyed
     by (benchmark, kernel, config index), so configurations may share
     display names (the Figure 18 RFQ sweep reuses ``WASP_GPU``).
+    With ``predict=True`` every row also carries the static
+    performance model's prediction and its error vs the simulator
+    (``report.prediction_rows``).
     """
     jobs = resolve_jobs(jobs)
     benchmarks = {
@@ -263,6 +323,7 @@ def run_sweep(
                         kernel=kernel.name,
                         config=config,
                         config_index=idx,
+                        predict=predict,
                     )
                 )
 
@@ -283,11 +344,14 @@ def _run_serial(tasks, benchmarks, results, report) -> None:
         kernel = benchmarks[task.benchmark].kernel(task.kernel)
         before = GLOBAL_CACHE.stats.snapshot()
         start = time.perf_counter()
-        result = run_kernel(kernel, task.config, GLOBAL_CACHE)
+        result = run_kernel(
+            kernel, task.config, GLOBAL_CACHE, predict=task.predict
+        )
         elapsed = time.perf_counter() - start
         report.stats.merge(GLOBAL_CACHE.stats.since(before))
         report.worker_seconds += elapsed
         report.add_sim(result.sim)
+        report.add_prediction(task, result)
         report.timings.append(
             TaskTiming(
                 benchmark=task.benchmark,
@@ -318,6 +382,7 @@ def _run_parallel(tasks, benchmarks, results, report, jobs) -> None:
             report.stats.merge(stats)
             report.worker_seconds += elapsed
             report.add_sim(result.sim)
+            report.add_prediction(task, result)
             report.timings.append(
                 TaskTiming(
                     benchmark=task.benchmark,

@@ -253,6 +253,20 @@ class KernelResult:
     used_specialized: bool
     compile_result: CompileResult | None = None
     fallback_sim: SimResult | None = None
+    #: Static performance-model prediction for the *same* traces the
+    #: simulator timed (attached when ``run_kernel(..., predict=True)``).
+    prediction: object | None = None
+
+    @property
+    def predicted_error(self) -> float | None:
+        """|predicted - simulated| / simulated, when a prediction rode
+        along."""
+        if self.prediction is None or self.cycles <= 0:
+            return None
+        predicted = getattr(self.prediction, "cycles", None)
+        if predicted is None:
+            return None
+        return abs(predicted - self.cycles) / self.cycles
 
 
 @dataclass
@@ -298,8 +312,15 @@ def run_kernel(
     kernel: Kernel,
     config: EvalConfig,
     cache: TraceCache | None = None,
+    predict: bool = False,
 ) -> KernelResult:
-    """Time one kernel under ``config`` (with per-kernel opt-in)."""
+    """Time one kernel under ``config`` (with per-kernel opt-in).
+
+    With ``predict=True`` the static performance model predicts the
+    same traces the simulator timed and rides along on the result
+    (``result.prediction`` / ``result.predicted_error``), turning every
+    sweep row into a calibration sample.
+    """
     cache = cache or _GLOBAL_CACHE
     gpu = _gpu_for(kernel, config)
     options = _compiler_options_for(kernel, config)
@@ -307,13 +328,18 @@ def run_kernel(
     plain = cache.original(kernel)
     plain_sim = simulate_kernel(plain.traces, gpu)
 
+    result: KernelResult
+    chosen_traces = plain.traces
     if options is None:
-        return KernelResult(
+        result = KernelResult(
             kernel=kernel,
             config_name=config.name,
             cycles=plain_sim.cycles,
             sim=plain_sim,
             used_specialized=False,
+        )
+        return _attach_prediction(
+            result, chosen_traces, gpu, predict, kernel.name
         )
 
     entry = None
@@ -332,7 +358,7 @@ def run_kernel(
         not config.opt_in or spec_sim.cycles < plain_sim.cycles
     )
     if use_spec:
-        return KernelResult(
+        result = KernelResult(
             kernel=kernel,
             config_name=config.name,
             cycles=spec_sim.cycles,
@@ -341,15 +367,39 @@ def run_kernel(
             compile_result=entry.compile_result,
             fallback_sim=plain_sim,
         )
-    return KernelResult(
-        kernel=kernel,
-        config_name=config.name,
-        cycles=plain_sim.cycles,
-        sim=plain_sim,
-        used_specialized=False,
-        compile_result=entry.compile_result if entry else None,
-        fallback_sim=plain_sim,
+        chosen_traces = entry.traces
+    else:
+        result = KernelResult(
+            kernel=kernel,
+            config_name=config.name,
+            cycles=plain_sim.cycles,
+            sim=plain_sim,
+            used_specialized=False,
+            compile_result=entry.compile_result if entry else None,
+            fallback_sim=plain_sim,
+        )
+    return _attach_prediction(
+        result, chosen_traces, gpu, predict, kernel.name
     )
+
+
+def _attach_prediction(
+    result: KernelResult,
+    traces: list[KernelTrace],
+    gpu: GPUConfig,
+    predict: bool,
+    kernel_name: str,
+) -> KernelResult:
+    if not predict:
+        return result
+    # Imported lazily: the perfmodel depends on this module's cache in
+    # the other direction (predict_kernel), and predicting is opt-in.
+    from repro.analysis.perfmodel.model import predict_traces
+
+    result.prediction = predict_traces(
+        traces, gpu, kernel_name=kernel_name
+    )
+    return result
 
 
 def profile_kernel(

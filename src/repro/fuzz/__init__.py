@@ -34,7 +34,12 @@ from repro.fuzz.corpus import (
 from repro.fuzz.generator import build_kernel
 from repro.fuzz.metamorphic import check_timing_invariants
 from repro.fuzz.mutate import MUTATIONS, apply_mutation
-from repro.fuzz.oracle import FuzzFailure, OracleReport, run_oracle
+from repro.fuzz.oracle import (
+    FuzzFailure,
+    FuzzWarning,
+    OracleReport,
+    run_oracle,
+)
 from repro.fuzz.runner import FuzzReport, run_fuzz
 from repro.fuzz.shrink import shrink_spec
 from repro.fuzz.spec import SKELETONS, FuzzSpec, generate_spec
@@ -46,6 +51,7 @@ __all__ = [
     "FuzzFailure",
     "FuzzReport",
     "FuzzSpec",
+    "FuzzWarning",
     "OracleReport",
     "apply_mutation",
     "build_kernel",

@@ -25,14 +25,21 @@ that must hold for any workload:
   cycle counts and stall attribution.
 
 The monotonicity relations carry a multiplicative guard band
-(:data:`JITTER_TOL`) because the greedy round-robin scheduler is not
-perfectly work-conserving: making memory *faster* shifts warp wake-up
-times, and the new interleaving can lose more to issue alignment than
-the faster memory saves (fuzzing found latency-bound kernels where
-doubling bandwidth costs ~15% cycles with identical hit rates and
-instruction counts).  The band tolerates that jitter while still
-catching sign errors and order-of-magnitude regressions; the exact
-conservation law keeps the bandwidth ladder sharp.
+(:data:`JITTER_TOL`).  The original greedy round-robin arbiter was not
+work-conserving (issue slots idled while eligible warps existed —
+permanently, when the warp count did not divide the processing-block
+count, and transiently whenever one block's warps all stalled
+together), which produced up to ~21% jitter and forced a 25% band.
+With balanced thread-block placement and idle-slot stealing in the SM
+core the arbiter is work-conserving and the band is 12%: the residual
+jitter is cache-hit *reassignment* — L1 lines are owned by whichever
+warp touches the sector first, so a different interleaving can move a
+DRAM miss onto the critical warp's path even though total traffic and
+hit counts are identical (a 300-seed sweep shows zero jitter on 298
+seeds and ~10-11% on two such cache-luck outliers, pinned by the
+committed corpus).  The band tolerates that while still catching sign
+errors and order-of-magnitude regressions; the exact conservation law
+keeps the bandwidth ladder sharp.
 
 Each violated relation is reported as a :class:`FuzzFailure` with
 check ``timing-*``.
@@ -54,12 +61,13 @@ from repro.workloads.base import Kernel
 #: simulator is deterministic, so these hold up to float accumulation.
 _EPS = 1e-6
 
-#: Guard band for cycle-count monotonicity: greedy round-robin issue is
-#: not perfectly work-conserving, so a "never slower" relation may be
-#: violated by scheduling alignment alone.  Genuine regressions (sign
-#: errors, inverted scale factors) overshoot this band by integer
-#: factors.
-JITTER_TOL = 0.25
+#: Guard band for cycle-count monotonicity.  Issue is work-conserving,
+#: but cache-hit reassignment under a different interleaving can still
+#: move a DRAM miss onto the critical warp (worst observed: ~11% over
+#: 300 fuzz seeds; corpus seeds 129/163/198 pin the band).  Genuine
+#: regressions (sign errors, inverted scale factors) overshoot this
+#: band by integer factors.
+JITTER_TOL = 0.12
 
 #: RFQ sizes for the occupancy-pinned monotonicity ladder.
 RFQ_LADDER = (4, 16, 64)

@@ -32,6 +32,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis.diagnostics import Severity
 from repro.core.compiler import WaspCompiler, WaspCompilerOptions
 from repro.errors import CompilerError, ReproError, VerificationError
 from repro.fexec.machine import run_kernel
@@ -42,7 +43,9 @@ from repro.isa.opcodes import Opcode
 from repro.workloads.base import Kernel
 
 #: Bumped whenever oracle checks change; invalidates cached verdicts.
-ORACLE_VERSION = 1
+#: v2: passing verdicts carry W-level verifier warnings (e.g. WASP-Q006)
+#: so cached seeds still surface them in per-seed reports.
+ORACLE_VERSION = 2
 
 #: Deterministic compiler option tuples every spec is compiled under.
 OPTION_SETS: tuple[tuple[str, WaspCompilerOptions], ...] = (
@@ -52,6 +55,49 @@ OPTION_SETS: tuple[tuple[str, WaspCompilerOptions], ...] = (
     ("tiny-queues", WaspCompilerOptions(queue_size=2,
                                         enable_tma_offload=False)),
 )
+
+
+@dataclass(frozen=True)
+class FuzzWarning:
+    """One W-level static-verifier finding on a *passing* seed.
+
+    A warning is not an oracle failure — the compiled program is
+    functionally correct — but rules like WASP-Q006 (credit pressure)
+    mark latent hazards, so ``repro fuzz`` surfaces them per seed
+    instead of silently dropping the compiler's diagnostics.
+    """
+
+    seed: int
+    options_name: str
+    rule: str
+    message: str
+    location: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "options": self.options_name,
+            "rule": self.rule,
+            "message": self.message,
+            "location": self.location,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "FuzzWarning":
+        return cls(
+            seed=int(doc["seed"]),
+            options_name=doc.get("options", ""),
+            rule=doc["rule"],
+            message=doc.get("message", ""),
+            location=doc.get("location", ""),
+        )
+
+    def summary(self) -> str:
+        return (
+            f"[{self.rule}] seed={self.seed} "
+            f"options={self.options_name or '-'} "
+            f"{self.location}: {self.message}"
+        )
 
 
 @dataclass
@@ -114,6 +160,9 @@ class OracleReport:
     spec: FuzzSpec
     failures: list[FuzzFailure] = field(default_factory=list)
     specialized_under: list[str] = field(default_factory=list)
+    #: W-level verifier diagnostics per compiled variant (see
+    #: :class:`FuzzWarning`); populated on cache hits too.
+    warnings: list[FuzzWarning] = field(default_factory=list)
     from_cache: bool = False
 
     @property
@@ -210,6 +259,10 @@ def run_oracle(
             report.specialized_under = list(
                 payload.get("specialized_under", [])
             )
+            report.warnings = [
+                FuzzWarning.from_json(doc)
+                for doc in payload.get("warnings", [])
+            ]
             return report
 
     reference = kernel.image_factory()
@@ -233,6 +286,7 @@ def run_oracle(
         store.save(
             key, [], fuzz_verdict="pass",
             specialized_under=report.specialized_under,
+            warnings=[w.to_json() for w in report.warnings],
         )
     return report
 
@@ -277,6 +331,15 @@ def _check_one_variant(
     if not result.specialized:
         return
     report.specialized_under.append(name)
+    for diag in result.diagnostics:
+        if diag.severity is Severity.WARNING:
+            report.warnings.append(FuzzWarning(
+                seed=spec.seed,
+                options_name=name,
+                rule=diag.rule,
+                message=diag.message,
+                location=diag.location,
+            ))
 
     program = result.program
     if inject is not None:

@@ -25,7 +25,12 @@ from typing import Any
 
 from repro.experiments.parallel import _worker_init, resolve_jobs
 from repro.experiments.runner import GLOBAL_CACHE
-from repro.fuzz.oracle import FuzzFailure, OracleReport, run_oracle
+from repro.fuzz.oracle import (
+    FuzzFailure,
+    FuzzWarning,
+    OracleReport,
+    run_oracle,
+)
 from repro.fuzz.shrink import shrink_spec
 from repro.fuzz.spec import generate_spec
 
@@ -54,11 +59,22 @@ class FuzzReport:
     specialized_counts: dict[str, int] = field(default_factory=dict)
     skeleton_counts: dict[str, int] = field(default_factory=dict)
     failures: list[FuzzFailure] = field(default_factory=list)
+    #: W-level verifier findings on passing seeds (per seed, per
+    #: compiled variant) — surfaced, not swallowed; never fail the run.
+    warnings: list[FuzzWarning] = field(default_factory=list)
     corpus_paths: list[str] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
         return self.seeds_run > 0 and not self.failures
+
+    @property
+    def warning_counts(self) -> dict[str, int]:
+        """Verifier rule id -> number of (seed, variant) hits."""
+        counts: dict[str, int] = {}
+        for warning in self.warnings:
+            counts[warning.rule] = counts.get(warning.rule, 0) + 1
+        return dict(sorted(counts.items()))
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -73,6 +89,8 @@ class FuzzReport:
             ),
             "skeleton_counts": dict(sorted(self.skeleton_counts.items())),
             "failures": [f.to_json() for f in self.failures],
+            "warnings": [w.to_json() for w in self.warnings],
+            "warning_counts": self.warning_counts,
             "corpus_paths": list(self.corpus_paths),
             "passed": self.passed,
         }
@@ -92,6 +110,14 @@ class FuzzReport:
                 for name, count in sorted(self.specialized_counts.items())
             ) or "none"),
         ]
+        if self.warnings:
+            lines.append(
+                "  verifier warnings: " + ", ".join(
+                    f"{rule}={count}"
+                    for rule, count in self.warning_counts.items()
+                )
+            )
+            lines.extend("    " + w.summary() for w in self.warnings)
         if self.failures:
             lines.append(f"  FAILURES ({len(self.failures)}):")
             lines.extend("    " + f.summary() for f in self.failures)
@@ -199,6 +225,7 @@ def run_fuzz(
                 report.specialized_counts.get(name, 0) + 1
             )
         report.failures.extend(oracle.failures)
+        report.warnings.extend(oracle.warnings)
 
     if shrink:
         for failure in report.failures:

@@ -67,6 +67,75 @@ CAUSE_LABELS: dict[StallCause, str] = {
 }
 
 
+# -- stall-mix comparison ---------------------------------------------
+#
+# Both the simulator (``SimResult.stall_cycles``) and the static
+# performance model (``DataflowWalk.stalls``) attribute time to
+# ``(pipe stage, StallCause)`` keys.  These helpers give the one shared
+# vocabulary for comparing the two: normalised shares, the dominant
+# stage, and a distance metric used by the calibration suite.
+
+
+def stall_mix(
+    stalls: dict[tuple[int, StallCause], float],
+) -> dict[StallCause, float]:
+    """Normalised share of stalled time per cause (sums to 1)."""
+    totals: dict[StallCause, float] = {}
+    for (_stage, cause), cycles in stalls.items():
+        totals[cause] = totals.get(cause, 0.0) + cycles
+    grand = sum(totals.values())
+    if grand <= 0.0:
+        return {}
+    return {cause: cycles / grand for cause, cycles in totals.items()}
+
+
+def dominant_stage(
+    stalls: dict[tuple[int, StallCause], float],
+) -> int | None:
+    """The pipeline stage carrying the most stalled time, if any."""
+    per_stage: dict[int, float] = {}
+    for (stage, _cause), cycles in stalls.items():
+        per_stage[stage] = per_stage.get(stage, 0.0) + cycles
+    if not per_stage:
+        return None
+    return max(per_stage, key=lambda s: (per_stage[s], -s))
+
+
+def dominant_cause(
+    stalls: dict[tuple[int, StallCause], float],
+    stage: int | None = None,
+) -> StallCause | None:
+    """The heaviest cause overall, or within ``stage`` when given."""
+    totals: dict[StallCause, float] = {}
+    for (s, cause), cycles in stalls.items():
+        if stage is not None and s != stage:
+            continue
+        totals[cause] = totals.get(cause, 0.0) + cycles
+    if not totals:
+        return None
+    return max(totals, key=lambda c: (totals[c], c.value))
+
+
+def mix_distance(
+    left: dict[tuple[int, StallCause], float],
+    right: dict[tuple[int, StallCause], float],
+) -> float:
+    """Total-variation distance between two stall mixes, in [0, 1].
+
+    0 means identical cause shares; 1 means fully disjoint.  Stage
+    structure is rolled up first: this compares *what* the kernels
+    stall on, not where, so an execution-free model that cannot see
+    issue arbitration still scores well when it nails the memory/queue
+    split.
+    """
+    lmix = stall_mix(left)
+    rmix = stall_mix(right)
+    causes = set(lmix) | set(rmix)
+    return 0.5 * sum(
+        abs(lmix.get(c, 0.0) - rmix.get(c, 0.0)) for c in causes
+    )
+
+
 @dataclass
 class QueueChannelProfile:
     """Occupancy profile of one inter-stage queue channel.

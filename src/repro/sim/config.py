@@ -60,6 +60,38 @@ class WaspFeatures:
 
 
 @dataclass(frozen=True)
+class ServiceRates:
+    """The service constants the timing model is built from.
+
+    One flat, read-only view of every latency and token-bucket rate the
+    simulator's memory system, TMA engine, and issue logic use — the
+    static performance model (``repro.analysis.perfmodel``) derives its
+    bounds from this same structure, so the two can never disagree on
+    what the machine is.  Latencies are cycles; bandwidths are
+    sectors/words/vectors per cycle per SM.
+    """
+
+    # Issue
+    issue_slots: int          # processing blocks = peak instrs/cycle
+    int_latency: int
+    fp_latency: int
+    tensor_latency: int
+    # Memory hierarchy
+    smem_latency: int
+    l1_latency: int
+    l2_latency: int
+    dram_latency: int
+    l2_sectors_per_cycle: float
+    dram_sectors_per_cycle: float
+    smem_words_per_cycle: float
+    # Offload engine
+    tma_vectors_per_cycle: float
+    # Structural limits that bound concurrency
+    max_outstanding_loads_per_warp: int
+    rfq_size: int
+
+
+@dataclass(frozen=True)
 class GPUConfig:
     """One SM plus its share of the chip-level memory system."""
 
@@ -115,6 +147,27 @@ class GPUConfig:
             self,
             l2_sectors_per_cycle=self.l2_sectors_per_cycle * factor,
             dram_sectors_per_cycle=self.dram_sectors_per_cycle * factor,
+        )
+
+    def service_rates(self) -> ServiceRates:
+        """The flat latency/bandwidth view (see :class:`ServiceRates`)."""
+        return ServiceRates(
+            issue_slots=self.processing_blocks,
+            int_latency=self.int_latency,
+            fp_latency=self.fp_latency,
+            tensor_latency=self.tensor_latency,
+            smem_latency=self.smem_latency,
+            l1_latency=self.l1_latency,
+            l2_latency=self.l2_latency,
+            dram_latency=self.dram_latency,
+            l2_sectors_per_cycle=self.l2_sectors_per_cycle,
+            dram_sectors_per_cycle=self.dram_sectors_per_cycle,
+            smem_words_per_cycle=float(self.smem_words_per_cycle),
+            tma_vectors_per_cycle=self.tma_vectors_per_cycle,
+            max_outstanding_loads_per_warp=(
+                self.max_outstanding_loads_per_warp
+            ),
+            rfq_size=self.rfq_size,
         )
 
     @property

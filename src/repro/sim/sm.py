@@ -1,13 +1,19 @@
 """The SM core loop: cycle-stepped issue with event skipping.
 
 Each processing block issues at most one instruction per cycle from a
-ready warp chosen by the active scheduling policy.  Warps block on
-register scoreboards, queue occupancy, barriers, and the per-warp
-outstanding-load limit; every blocking condition resolves either to a
-known future wake time (memory completions are computed eagerly) or to
-"another warp must act", in which case the blocked warp registers itself
-on the queue/barrier and is woken by the unblocking event.  When no warp
-can issue, time skips to the earliest known wake.
+ready warp chosen by the active scheduling policy.  Issue is
+work-conserving: thread blocks are placed starting from the least-
+loaded processing block (so a warp count that does not divide P cannot
+strand a permanently empty block), and a block whose own warps are all
+blocked lends its issue slot to a warp that lost arbitration on
+another block — a slot never idles while an eligible warp exists
+anywhere on the SM.  Warps block on register scoreboards, queue
+occupancy, barriers, and the per-warp outstanding-load limit; every
+blocking condition resolves either to a known future wake time (memory
+completions are computed eagerly) or to "another warp must act", in
+which case the blocked warp registers itself on the queue/barrier and
+is woken by the unblocking event.  When no warp can issue, time skips
+to the earliest known wake.
 
 Stall attribution (``repro.profiling``): every active warp-cycle is
 charged either to an issue or to one :class:`StallCause`.  Because the
@@ -27,7 +33,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.core.mapping import map_warps
+from repro.core.mapping import map_warps, rotate_mapping
 from repro.core.scheduling import WarpSchedState, priority_key
 from repro.core.specs import ThreadBlockSpec
 from repro.errors import DeadlockError, SimulationError
@@ -139,7 +145,9 @@ class SMSimulator:
         self._queue_block: dict[tuple[int, int, int, str], list[_WarpRun]] = {}
         # Reusable scratch for per-cycle arbitration (no allocation in
         # the issue loop).
-        self._eligible: list[_WarpRun] = []
+        self._eligible: list[tuple[Any, _WarpRun]] = []
+        self._losers: list[tuple[Any, int, _WarpRun]] = []
+        self._idle_pbs: list[int] = []
 
     # -- residency ----------------------------------------------------------
 
@@ -153,13 +161,28 @@ class SMSimulator:
             self._pending.pop(0)
             self._place(trace, now)
 
-    def _fits_in_slots(self, trace: KernelTrace) -> bool:
+    def _mapping_for(self, trace: KernelTrace) -> dict[int, int]:
+        """Warp→PB mapping for one admitted block, balance-rotated.
+
+        The raw mappers start every thread block at processing block 0;
+        rotating to the currently least-loaded block keeps the issue
+        slots work-conserving when the warp count does not divide P
+        (see :func:`repro.core.mapping.rotate_mapping`).
+        """
         mapping = map_warps(
             trace.tb_spec,
             trace.num_warps,
             self.config.processing_blocks,
             self.config.features.group_pipeline_mapping,
         )
+        loads = [len(pb) for pb in self._pbs]
+        offset = loads.index(min(loads))
+        return rotate_mapping(
+            mapping, offset, self.config.processing_blocks
+        )
+
+    def _fits_in_slots(self, trace: KernelTrace) -> bool:
+        mapping = self._mapping_for(trace)
         load: dict[int, int] = {}
         for pb in mapping.values():
             load[pb] = load.get(pb, 0) + 1
@@ -190,12 +213,7 @@ class SMSimulator:
             ),
         )
         self._next_tb += 1
-        mapping = map_warps(
-            spec,
-            trace.num_warps,
-            self.config.processing_blocks,
-            self.config.features.group_pipeline_mapping,
-        )
+        mapping = self._mapping_for(trace)
         for warp_trace in trace.warps:
             run = _WarpRun(
                 key=self._next_key,
@@ -254,12 +272,30 @@ class SMSimulator:
             self.tma.advance(now)
             issued_any = False
             wake = INFINITY
+            idle = self._idle_pbs
+            losers = self._losers
+            idle.clear()
+            losers.clear()
             for pb_index in range(self.config.processing_blocks):
-                result = self._issue_pb(pb_index, now)
+                result = self._issue_pb(pb_index, now, losers)
                 if result is True:
                     issued_any = True
-                elif result < wake:
-                    wake = result
+                else:
+                    idle.append(pb_index)
+                    if result < wake:
+                        wake = result
+            # Work conservation: a processing block whose own warps are
+            # all blocked still has an issue slot this cycle; feed it
+            # warps that lost arbitration elsewhere rather than letting
+            # the slot idle while eligible work exists.
+            if losers:
+                unconsumed = 0
+                if idle:
+                    stole, unconsumed = self._steal_issue(idle, losers, now)
+                    issued_any |= stole
+                for _key, _tie, warp in losers[unconsumed:]:
+                    self._note_stall(warp, now, StallCause.ISSUE_PORT)
+                losers.clear()
             self._retire_finished(now)
             if not self._resident and not self._pending:
                 break
@@ -299,8 +335,20 @@ class SMSimulator:
             f"SM deadlock at cycle {now}: blocked warps {detail}"
         )
 
-    def _issue_pb(self, pb_index: int, now: float) -> Any:
-        """Try to issue one instruction; True or the earliest wake time."""
+    def _issue_pb(
+        self,
+        pb_index: int,
+        now: float,
+        losers: list[tuple[Any, int, _WarpRun]],
+    ) -> Any:
+        """Try to issue one instruction; True or the earliest wake time.
+
+        Eligible warps that lose arbitration are appended to ``losers``
+        (priority key, warp key, warp) so the caller can route them to
+        processing blocks whose slot would otherwise idle this cycle;
+        their ``ISSUE_PORT`` stall is noted there, only if they stay
+        unissued after that second pass.
+        """
         best: _WarpRun | None = None
         best_key = None
         wake = INFINITY
@@ -320,20 +368,59 @@ class SMSimulator:
                 warp.wake_at = warp_wake
                 wake = min(wake, warp_wake)
                 continue
-            eligible.append(warp)
             state = self._sched_state(warp, now) if pipeline_aware else None
             key = self._priority(policy, warp, state, greedy, now)
+            eligible.append((key, warp))
             if best is None or key < best_key:
                 best, best_key = warp, key
         if best is None:
             return wake
-        for warp in eligible:
+        for key, warp in eligible:
             if warp is not best:
-                self._note_stall(warp, now, StallCause.ISSUE_PORT)
+                losers.append((key, warp.key, warp))
         eligible.clear()
         self._execute(best, now)
         self._greedy[pb_index] = best.key
         return True
+
+    def _steal_issue(
+        self,
+        idle: list[int],
+        losers: list[tuple[Any, int, _WarpRun]],
+        now: float,
+    ) -> tuple[bool, int]:
+        """Fill idle issue slots with arbitration losers (best first).
+
+        Eligibility is re-checked at steal time: an earlier issue this
+        cycle may have consumed the queue entry or space the loser's
+        eligibility depended on.  A stolen warp stays on its home
+        processing block (its registers live there); only this cycle's
+        spare issue slot is borrowed, and greedy-then-oldest continuity
+        is kept on the home block so the policy still sees one
+        uninterrupted run.
+
+        Returns ``(issued anything, index of the first loser this pass
+        did not touch)`` — consumed losers have either issued or had
+        their real blocking cause recorded, so only the untouched tail
+        still owes an ``ISSUE_PORT`` stall.
+        """
+        losers.sort(key=lambda entry: (entry[0], entry[1]))
+        issued = False
+        index = 0
+        for _slot in idle:
+            while index < len(losers):
+                _key, _tie, warp = losers[index]
+                index += 1
+                can, warp_wake, cause = self._can_issue(warp, now)
+                if can:
+                    self._execute(warp, now)
+                    self._greedy[warp.pb] = warp.key
+                    issued = True
+                    break
+                if cause is not None:
+                    self._note_stall(warp, now, cause)
+                warp.wake_at = warp_wake
+        return issued, index
 
     # -- stall attribution ----------------------------------------------
 

@@ -1,0 +1,122 @@
+"""Docs stay honest: DESIGN.md's rule table mirrors the registry.
+
+The §6c rule-taxonomy table is hand-written prose; the verifier's
+``RULES`` dict is the registry the code enforces.  This test expands
+the table's compressed cells (``C001–C005`` ranges, ``Q001/Q002``
+lists) and asserts exact equality with the registered rule ids, so a
+rule added or removed in code without a doc update fails CI — and vice
+versa.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis.diagnostics import RULES, rules_table_lines
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+DESIGN = REPO_ROOT / "DESIGN.md"
+EXPERIMENTS = REPO_ROOT / "EXPERIMENTS.md"
+
+
+def _section(text: str, heading: str) -> str:
+    """The body of one ``## heading`` until the next ``## `` heading."""
+    pattern = re.compile(
+        rf"^## {re.escape(heading)}.*?$(.*?)(?=^## |\Z)",
+        re.MULTILINE | re.DOTALL,
+    )
+    match = pattern.search(text)
+    assert match is not None, f"DESIGN.md lacks a '## {heading}' section"
+    return match.group(1)
+
+
+def _expand_rule_cell(cell: str) -> list[str]:
+    """``C001–C005`` -> the five ids; ``Q001/Q002`` -> the two ids."""
+    cell = cell.strip()
+    rules: list[str] = []
+    for part in cell.split("/"):
+        part = part.strip()
+        range_match = re.fullmatch(
+            r"([A-Z])(\d{3})\s*[–-]\s*(?:([A-Z]))?(\d{3})", part
+        )
+        if range_match:
+            family, lo, hi_family, hi = range_match.groups()
+            assert hi_family in (None, family), cell
+            for num in range(int(lo), int(hi) + 1):
+                rules.append(f"{family}{num:03d}")
+        else:
+            assert re.fullmatch(r"[A-Z]\d{3}", part), (
+                f"unparseable rule cell: {cell!r}"
+            )
+            rules.append(part)
+    return rules
+
+
+def _documented_rules() -> list[str]:
+    section = _section(DESIGN.read_text(), "6c.")
+    documented: list[str] = []
+    for line in section.splitlines():
+        if not line.startswith("|"):
+            continue
+        cells = [c.strip() for c in line.strip("|").split("|")]
+        first = cells[0]
+        if first in ("rule", "---", "") or set(first) <= {"-"}:
+            continue
+        documented.extend(
+            f"WASP-{rule}" for rule in _expand_rule_cell(first)
+        )
+    return documented
+
+
+def test_design_6c_table_matches_rule_registry():
+    documented = _documented_rules()
+    assert len(documented) == len(set(documented)), (
+        "duplicate rules in the DESIGN.md §6c table"
+    )
+    missing = sorted(set(RULES) - set(documented))
+    stale = sorted(set(documented) - set(RULES))
+    assert not missing, f"registered but undocumented in §6c: {missing}"
+    assert not stale, f"documented in §6c but not registered: {stale}"
+
+
+def test_rules_table_lists_exactly_the_registry():
+    lines = rules_table_lines()
+    listed = [
+        line.split()[0]
+        for line in lines
+        if line.startswith("WASP-")
+    ]
+    assert listed == sorted(RULES)
+    # Severity column matches the registry's default severity.
+    for line in lines:
+        if not line.startswith("WASP-"):
+            continue
+        rule, severity = line.split()[:2]
+        assert severity == RULES[rule][0].value
+
+
+def test_design_documents_perfmodel_section():
+    text = DESIGN.read_text()
+    section = _section(text, "6d.")
+    # The blind spots the calibration suite works around must stay
+    # documented next to the model they qualify.
+    for phrase in (
+        "divergent gather",
+        "Little",
+        "issue",
+        "bandwidth",
+    ):
+        assert phrase.lower() in section.lower(), (
+            f"DESIGN.md §6d no longer mentions {phrase!r}"
+        )
+
+
+def test_experiments_documents_advise():
+    text = EXPERIMENTS.read_text()
+    assert "repro advise" in text
+    for token in (
+        "--margin", "--no-simulate", "--json-out",
+        "repro-advise-report-v1",
+    ):
+        assert token in text, f"EXPERIMENTS.md advise docs lack {token}"

@@ -1,0 +1,193 @@
+"""The options advisor: candidate grid, gating, verification, and the
+ISSUE acceptance property — acting on a suggestion is never slower
+than the defaults under simulation, on any registry workload."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.perfmodel import (
+    ADVICE_SCHEMA,
+    QUEUE_DEPTHS,
+    SUGGESTION_MARGIN,
+    advise_kernel,
+    advise_workload,
+    apply_suggestion,
+    enumerate_candidates,
+)
+from repro.experiments.configs import wasp_gpu_config
+from repro.experiments.runner import TraceCache, run_kernel
+from repro.workloads import all_benchmarks, get_benchmark
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return TraceCache()
+
+
+@pytest.fixture(scope="module")
+def config():
+    return wasp_gpu_config()
+
+
+# -- candidate enumeration ----------------------------------------------
+
+
+def test_default_is_candidate_zero(config):
+    candidates = enumerate_candidates(config.compiler, config.gpu)
+    assert candidates[0].label == "default"
+    assert candidates[0].options == config.compiler
+    assert candidates[0].rfq_size == config.gpu.rfq_size
+
+
+def test_candidates_vary_one_knob_each(config):
+    default = config.compiler
+    for candidate in enumerate_candidates(default, config.gpu)[1:]:
+        changed = {
+            k for k, v in candidate.options.to_json().items()
+            if v != default.to_json()[k]
+        }
+        assert len(changed) <= 1, candidate.label
+        knob = candidate.label.split("=")[0]
+        if changed:
+            assert changed == {knob}
+        # Queue-depth candidates mirror the depth into the modeled
+        # hardware capacity; every other candidate keeps the default.
+        if knob == "queue_size":
+            assert candidate.rfq_size == candidate.options.queue_size
+        else:
+            assert candidate.rfq_size == config.gpu.rfq_size
+
+
+def test_queue_depths_enumerated_without_duplicate_default(config):
+    candidates = enumerate_candidates(config.compiler, config.gpu)
+    depth_labels = {
+        c.label for c in candidates if c.label.startswith("queue_size=")
+    }
+    expected = {
+        f"queue_size={d}"
+        for d in QUEUE_DEPTHS
+        if d != config.compiler.queue_size
+    }
+    assert depth_labels == expected
+
+
+def test_tma_toggle_requires_hardware(config):
+    candidates = enumerate_candidates(config.compiler, config.gpu)
+    has_tma = any(
+        c.label.startswith("enable_tma_offload=") for c in candidates
+    )
+    assert has_tma == config.gpu.features.wasp_tma
+
+
+# -- advise on one kernel ------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def spmv_advice(cache, config):
+    kernel = get_benchmark("hpcg", scale=SCALE).kernel("spmv_27pt")
+    return advise_kernel(kernel, config, cache)
+
+
+def test_advice_candidates_ranked_by_predicted_cycles(spmv_advice):
+    cycles = [c.prediction.cycles for c in spmv_advice.candidates]
+    assert cycles == sorted(cycles)
+
+
+def test_advice_suggestion_clears_margin(spmv_advice):
+    advice = spmv_advice
+    assert advice.suggestion is not None
+    assert advice.predicted_gain >= SUGGESTION_MARGIN
+    # The verification gate ran: the suggestion simulated no slower.
+    assert advice.simulated_cycles is not None
+    assert advice.simulated_suggested_cycles is not None
+    assert advice.simulated_suggested_cycles <= advice.simulated_cycles
+
+
+def test_advice_json_schema(spmv_advice, config):
+    doc = json.loads(json.dumps(spmv_advice.to_json()))
+    assert doc["kernel"] == "spmv_27pt"
+    default = doc["default"]
+    assert default["options"] == config.compiler.to_json() | {
+        "queue_size": config.gpu.rfq_size
+    }
+    assert default["predicted_cycles"] > 0
+    assert default["bottleneck_stage"] is not None
+    assert default["explanation"]
+    assert doc["candidates"][0]["label"] in {
+        c.label for c in spmv_advice.candidates
+    }
+    assert doc["suggestion"]["options_delta"]
+    assert doc["predicted_gain"] >= SUGGESTION_MARGIN
+    assert doc["predicted_error"] is not None
+
+
+def test_advise_workload_report(cache, config):
+    report = advise_workload(
+        "hpcg", config, scale=SCALE, cache=cache, simulate=False
+    )
+    doc = json.loads(json.dumps(report.to_json()))
+    assert doc["schema"] == ADVICE_SCHEMA
+    assert doc["workload"] == "hpcg"
+    assert doc["config"] == config.name
+    names = {k["kernel"] for k in doc["kernels"]}
+    expected = {
+        k.name for k in get_benchmark("hpcg", scale=SCALE).kernels
+    }
+    assert names == expected
+    # simulate=False leaves the calibration fields out.
+    assert all("simulated_cycles" not in k for k in doc["kernels"])
+
+
+def test_apply_suggestion_builds_config(spmv_advice, config):
+    suggested = apply_suggestion(config, spmv_advice)
+    delta = {
+        k: v
+        for k, v in suggested.compiler.to_json().items()
+        if v != config.compiler.to_json()[k]
+    }
+    assert delta  # the suggestion changes at least one knob
+    if "queue_size" in delta:
+        assert suggested.gpu.rfq_size == suggested.compiler.queue_size
+
+
+def test_apply_suggestion_identity_when_none(config, cache):
+    # waxpby is DRAM-bandwidth-bound: no configuration change helps.
+    kernel = get_benchmark("hpcg", scale=SCALE).kernel("waxpby")
+    advice = advise_kernel(kernel, config, cache, simulate=False)
+    assert advice.suggestion is None
+    assert apply_suggestion(config, advice) is config
+
+
+# -- the acceptance property ---------------------------------------------
+
+
+@pytest.mark.parametrize("workload", all_benchmarks())
+def test_suggestions_never_slower_when_simulated(workload, cache, config):
+    """ISSUE acceptance: on every registry workload, simulating an
+    emitted suggestion is never slower than the default options."""
+    report = advise_workload(
+        workload, config, scale=SCALE, cache=cache, simulate=True
+    )
+    kernels = {
+        k.name: k
+        for k in get_benchmark(workload, scale=SCALE).kernels
+    }
+    for advice in report.kernels:
+        assert advice.simulated_cycles is not None
+        if advice.suggestion is None:
+            continue
+        kernel = kernels[advice.kernel_name]
+        default = run_kernel(kernel, config, cache)
+        suggested = run_kernel(
+            kernel, apply_suggestion(config, advice), cache
+        )
+        assert suggested.cycles <= default.cycles, (
+            f"{workload}/{advice.kernel_name}: suggestion "
+            f"{advice.suggestion.label} simulated slower "
+            f"({default.cycles:.0f} -> {suggested.cycles:.0f})"
+        )

@@ -1,0 +1,116 @@
+"""Calibration: the model is held to its stated tolerances.
+
+The ISSUE acceptance criteria live here: over the full workload
+registry the predicted bottleneck stage must agree with the simulator's
+dominant stall attribution on at least ``AGREEMENT_FLOOR`` of kernels,
+and predicted cycles must land within ``CYCLE_TOLERANCE`` of simulated
+cycles on every kernel.  The fuzz corpus seeds replay through the same
+harness so every past failure also exercises the model.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.perfmodel import (
+    AGREEMENT_FLOOR,
+    CYCLE_TOLERANCE,
+    calibrate_fuzz_seed,
+    calibrate_kernel,
+    calibrate_registry,
+)
+from repro.experiments.configs import baseline_config, wasp_gpu_config
+from repro.experiments.runner import TraceCache
+from repro.fuzz.corpus import load_corpus
+from repro.workloads import all_benchmarks, get_benchmark
+
+SCALE = 0.25
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return TraceCache()
+
+
+@pytest.fixture(scope="module")
+def registry_report(cache):
+    return calibrate_registry(wasp_gpu_config(), scale=SCALE, cache=cache)
+
+
+def test_registry_covers_every_kernel(registry_report):
+    expected = sum(
+        len(get_benchmark(name, scale=SCALE).kernels)
+        for name in all_benchmarks()
+    )
+    assert len(registry_report.rows) == expected
+    assert len(registry_report.rows) >= 20
+
+
+def test_registry_cycles_within_tolerance(registry_report):
+    over = [
+        (r.name, r.error)
+        for r in registry_report.rows
+        if r.error > CYCLE_TOLERANCE
+    ]
+    assert not over, f"kernels beyond ±{CYCLE_TOLERANCE:.0%}: {over}"
+    assert registry_report.within() == len(registry_report.rows)
+
+
+def test_registry_bottleneck_agreement(registry_report):
+    assert registry_report.agreement >= AGREEMENT_FLOOR, [
+        (r.name, r.predicted_stage, r.simulated_stage)
+        for r in registry_report.rows
+        if not r.bottleneck_agrees
+    ]
+
+
+def test_registry_report_json(registry_report):
+    doc = json.loads(json.dumps(registry_report.to_json()))
+    assert doc["total"] == len(registry_report.rows)
+    assert doc["within_tolerance"] == registry_report.within()
+    assert doc["agreement"] == round(registry_report.agreement, 4)
+    row = doc["rows"][0]
+    for key in (
+        "name", "config", "predicted_cycles", "simulated_cycles",
+        "error", "predicted_stage", "simulated_stage",
+        "bottleneck_agrees", "stall_mix_distance",
+    ):
+        assert key in row
+
+
+def test_calibrate_kernel_baseline_config(cache):
+    kernel = get_benchmark("hpcg", scale=SCALE).kernel("waxpby")
+    row, prediction = calibrate_kernel(kernel, baseline_config(), cache)
+    assert row.config_name == "BASELINE"
+    assert row.error <= CYCLE_TOLERANCE
+    assert prediction.cycles == row.predicted_cycles
+
+
+# -- fuzz corpus seeds (property: past failures calibrate too) ------------
+
+
+def _corpus_entries():
+    entries = load_corpus()
+    assert entries, "tests/corpus/ must not be empty"
+    return entries
+
+
+@pytest.mark.parametrize(
+    "entry", _corpus_entries(), ids=lambda e: e.name
+)
+def test_corpus_seed_calibrates(entry, cache):
+    """Every corpus spec (uncorrupted) stays within model tolerance."""
+    row = calibrate_fuzz_seed(
+        entry.spec.to_json(), wasp_gpu_config(), cache
+    )
+    assert row.name == f"seed={entry.spec.seed}"
+    assert row.error <= CYCLE_TOLERANCE, (
+        f"{entry.name}: predicted {row.predicted_cycles:.0f} vs "
+        f"simulated {row.simulated_cycles:.0f} ({row.error:.1%})"
+    )
+    assert row.bottleneck_agrees, (
+        f"{entry.name}: predicted stage {row.predicted_stage} vs "
+        f"simulated stage {row.simulated_stage}"
+    )
