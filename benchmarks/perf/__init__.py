@@ -1,0 +1,6 @@
+"""Simulator performance-trajectory harness (``BENCH_core.json``).
+
+Not a pytest package: these modules measure wall-clock, so they run as
+``python -m benchmarks.perf.run`` (CI's ``perf-gate`` job), never under
+the test runner.
+"""

@@ -1,0 +1,103 @@
+"""Entrypoint for the perf harness / CI perf-gate.
+
+Measure and write a fresh baseline::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --scale 0.25 \
+        --output BENCH_core.json
+
+Gate against the committed baseline (CI's ``perf-gate`` job)::
+
+    PYTHONPATH=src python -m benchmarks.perf.run --scale 0.25 \
+        --output bench_fresh.json --check BENCH_core.json \
+        --tolerance 0.2
+
+Exit status 1 when any benchmark's calibration-normalized wall-clock
+regresses past the tolerance.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from benchmarks.perf.harness import (
+    BenchmarkConfig,
+    BenchmarkHarness,
+    Fig14SweepBenchmark,
+    KernelSimBenchmark,
+    check_against_baseline,
+    dump_json,
+    load_json,
+)
+
+#: Registry kernels micro-benchmarked per core (a slow, a mid, a fast
+#: one at scale 0.25 — the trajectory signal, not full coverage; the
+#: fig14 sweep below covers everything).
+MICRO_BENCHMARKS = [
+    ("spmv1_g3", "WASP_GPU"),
+    ("pointnet", "WASP_GPU"),
+    ("bert", "BASELINE"),
+]
+
+
+def build_suite(scale: float, sweep: bool):
+    suite = []
+    for bench_name, config_name in MICRO_BENCHMARKS:
+        for core in ("reference", "event"):
+            suite.append(
+                KernelSimBenchmark(bench_name, config_name, core, scale)
+            )
+    if sweep:
+        for core in ("reference", "event"):
+            suite.append(Fig14SweepBenchmark(core, scale))
+    return suite
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf.run",
+        description="Simulator perf harness: measure both SM cores and "
+                    "emit/gate BENCH_core.json",
+    )
+    parser.add_argument("--scale", type=float, default=0.25,
+                        help="registry problem-size scale (default 0.25)")
+    parser.add_argument("--output", default="BENCH_core.json",
+                        metavar="PATH", help="write results here")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare against this committed baseline "
+                             "and exit 1 on regression")
+    parser.add_argument("--tolerance", type=float, default=0.2,
+                        help="allowed normalized wall-clock regression "
+                             "(default 0.2 = 20%%)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repetitions per benchmark (best-of)")
+    parser.add_argument("--no-sweep", action="store_true",
+                        help="skip the fig14 sweep benchmarks")
+    args = parser.parse_args(argv)
+
+    config = BenchmarkConfig(repeats=args.repeats, scale=args.scale)
+    harness = BenchmarkHarness(config)
+    suite = build_suite(args.scale, sweep=not args.no_sweep)
+    print(f"[perf] measuring {len(suite)} benchmarks at "
+          f"scale {args.scale} ({args.repeats} repeats)")
+    doc = harness.run_suite(suite)
+    for pair, stats in doc["summary"].items():
+        print(f"  {pair}: event {stats['speedup']:.2f}x over reference")
+    dump_json(doc, args.output)
+    print(f"[perf] wrote {args.output}")
+
+    if args.check:
+        baseline = load_json(args.check)
+        problems = check_against_baseline(doc, baseline, args.tolerance)
+        if problems:
+            print(f"[perf] GATE FAILED vs {args.check}:")
+            for line in problems:
+                print(f"  {line}")
+            return 1
+        print(f"[perf] gate passed vs {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

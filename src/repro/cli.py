@@ -475,6 +475,117 @@ def _replay_corpus(corpus_dir, json_out: str | None) -> int:
     return 1 if bad else 0
 
 
+def build_corediff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro corediff",
+        description="Reference-vs-event SM core differential: replay "
+                    "the fuzz corpus and/or the kernel registry through "
+                    "both simulator cores and demand bit-identical "
+                    "results (CI's core-differential gate).",
+    )
+    parser.add_argument(
+        "--corpus", action="store_true",
+        help="diff the committed fuzz corpus specs (default: corpus "
+             "and registry when neither flag is given)",
+    )
+    parser.add_argument(
+        "--registry", action="store_true",
+        help="diff every registry kernel under the standard "
+             "evaluation configs",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=0, metavar="N",
+        help="additionally diff N freshly generated fuzz specs",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, metavar="B",
+        help="first seed for --seeds (default 0)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="registry problem-size scale (default 0.25)",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="corpus directory (default: tests/corpus/)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the per-comparison report as JSON",
+    )
+    _add_cache_flags(parser)
+    return parser
+
+
+def run_corediff(argv: list[str]) -> int:
+    """``repro corediff``: the event-core exactness gate."""
+    args = build_corediff_parser().parse_args(argv)
+    _configure_cache(args)
+
+    from pathlib import Path
+
+    from repro.fuzz.spec import generate_spec
+    from repro.sim.differential import diff_registry_kernel, diff_spec
+
+    do_corpus = args.corpus or not (args.corpus or args.registry
+                                    or args.seeds)
+    do_registry = args.registry or not (args.corpus or args.registry
+                                        or args.seeds)
+    start = time.time()
+    diffs = []
+
+    if do_corpus:
+        from repro.fuzz.corpus import load_corpus
+
+        corpus_dir = Path(args.corpus_dir) if args.corpus_dir else None
+        entries = load_corpus(corpus_dir)
+        for entry in entries:
+            diffs.extend(diff_spec(entry.spec))
+        print(f"[corpus: {len(entries)} entries diffed]")
+
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        diffs.extend(diff_spec(generate_spec(seed)))
+    if args.seeds:
+        print(f"[seeds: {args.seeds} specs diffed]")
+
+    if do_registry:
+        from repro.experiments.configs import standard_configs
+        from repro.workloads.registry import all_benchmarks, get_benchmark
+
+        count = 0
+        for name in all_benchmarks():
+            bench = get_benchmark(name, scale=args.scale)
+            for kernel in bench.kernels:
+                for config in standard_configs():
+                    diffs.extend(diff_registry_kernel(kernel, config))
+                    count += 1
+        print(f"[registry: {count} kernel/config pairs diffed]")
+
+    bad = [d for d in diffs if not d.ok]
+    for diff in bad:
+        print(f"MISMATCH {diff.label}")
+        for line in diff.mismatches:
+            print(f"  {line}")
+    print(
+        f"corediff: {len(diffs) - len(bad)}/{len(diffs)} comparisons "
+        f"bit-identical ({time.time() - start:.1f}s)"
+    )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"comparisons": [
+                    {"label": d.label, "ok": d.ok,
+                     "ref_cycles": d.ref_cycles,
+                     "event_cycles": d.event_cycles,
+                     "mismatches": d.mismatches}
+                    for d in diffs
+                ]},
+                handle, indent=2,
+            )
+        print(f"[wrote corediff JSON to {args.json_out}]")
+    return 1 if bad or not diffs else 0
+
+
 def run_lint(argv: list[str]) -> int:
     """``repro lint [benchmarks…]``: registry-wide static verification."""
     args = build_lint_parser().parse_args(argv)
@@ -710,6 +821,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_fuzz_cli(argv[1:])
     if argv and argv[0] == "advise":
         return run_advise(argv[1:])
+    if argv and argv[0] == "corediff":
+        return run_corediff(argv[1:])
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(k) for k in _ARTIFACTS)
@@ -723,6 +836,8 @@ def main(argv: list[str] | None = None) -> int:
               "(repro fuzz --help)")
         print("  advise    Analytical pipeline advisor "
               "(repro advise --help)")
+        print("  corediff  Reference-vs-event core differential "
+              "(repro corediff --help)")
         return 0
 
     _configure_cache(args)

@@ -86,3 +86,54 @@ def priority_key(
             state.age,
         )
     raise ValueError(f"unknown policy {policy}")
+
+
+def needs_queue_bits(policy: SchedulingPolicy) -> bool:
+    """Does ``policy`` consult the incoming-queue scoreboard bits?
+
+    Only the ``full_ready_*`` policies do; for the others the simulator
+    can skip the per-warp channel scan entirely.
+    """
+    return policy in (
+        SchedulingPolicy.FULL_READY_PRODUCER,
+        SchedulingPolicy.FULL_READY_CONSUMER,
+    )
+
+
+def compiled_priority(policy: SchedulingPolicy):
+    """Allocation-free form of :func:`priority_key`.
+
+    Returns ``fn(warp_key, stage, ready, full, last_issued, age,
+    greedy_key) -> key`` producing exactly the tuple
+    :func:`priority_key` would for the equivalent
+    :class:`WarpSchedState` — the simulator's per-eligible-warp hot
+    path, where building the dataclass dominates the comparison
+    (``tests/test_core_mapping_scheduling.py`` pins the agreement).
+    """
+    if policy is SchedulingPolicy.GTO:
+        return lambda key, stage, ready, full, last, age, greedy: (
+            0 if key == greedy else 1, age,
+        )
+    if policy is SchedulingPolicy.LRR:
+        return lambda key, stage, ready, full, last, age, greedy: (
+            last, age,
+        )
+    if policy is SchedulingPolicy.PRODUCER_FIRST:
+        return lambda key, stage, ready, full, last, age, greedy: (
+            stage, 0 if key == greedy else 1, age,
+        )
+    if policy is SchedulingPolicy.CONSUMER_FIRST:
+        return lambda key, stage, ready, full, last, age, greedy: (
+            -stage, 0 if key == greedy else 1, age,
+        )
+    if policy is SchedulingPolicy.FULL_READY_PRODUCER:
+        return lambda key, stage, ready, full, last, age, greedy: (
+            0 if full else 1, 0 if ready else 1, stage,
+            0 if key == greedy else 1, age,
+        )
+    if policy is SchedulingPolicy.FULL_READY_CONSUMER:
+        return lambda key, stage, ready, full, last, age, greedy: (
+            0 if full else 1, 0 if ready else 1, -stage,
+            0 if key == greedy else 1, age,
+        )
+    raise ValueError(f"unknown policy {policy}")

@@ -52,9 +52,8 @@ from dataclasses import replace
 from repro.fexec.trace import KernelTrace
 from repro.fuzz.spec import FuzzSpec
 from repro.sim.config import GPUConfig, wasp_gpu
-from repro.sim.gpu import simulate_kernel
+from repro.sim.gpu import make_simulator, simulate_kernel
 from repro.sim.results import SimResult
-from repro.sim.sm import SMSimulator
 from repro.workloads.base import Kernel
 
 #: Tolerance for exact relations (determinism, conservation): the
@@ -163,7 +162,7 @@ def check_timing_invariants(
         # Pin occupancy at the smallest-RFQ configuration so the ladder
         # isolates queue capacity from register-file displacement.
         small = wasp_gpu(rfq_size=RFQ_LADDER[0])
-        pinned = SMSimulator(small, traces).occupancy
+        pinned = make_simulator(small, traces).occupancy
         prev_cycles = None
         for rfq in RFQ_LADDER:
             cycles = timed(

@@ -26,12 +26,20 @@ class TimedArriveWait:
     wait_counts: dict[int, int] = field(default_factory=dict)
     tb_index: int = 0
     profiler: Any = None  # PipelineProfiler when arrivals are traced
+    # Event-core wake registration (repro.sim.sm_event): warps whose
+    # wait has no pass time yet (needs more arrivals) register here;
+    # the installed ``wake_hook`` drains the list on every arrival.
+    # The reference core leaves both untouched.
+    waiters: list = field(default_factory=list)
+    wake_hook: Any = None
 
     def arrive(self, time: float) -> None:
         bisect.insort(self.arrival_times, time)
         if self.profiler is not None:
             self.profiler.record_barrier(self.tb_index, self.barrier_id,
                                          time)
+        if self.waiters:
+            self.wake_hook(self.waiters)
 
     def wait_pass_time(self, warp_key: int) -> float:
         """When the next wait by ``warp_key`` passes (may be inf)."""
@@ -58,6 +66,9 @@ class TimedSyncBarrier:
     arrived: set = field(default_factory=set)
     tb_index: int = 0
     profiler: Any = None  # PipelineProfiler when arrivals are traced
+    # Event-core wake registration (see TimedArriveWait above).
+    waiters: list = field(default_factory=list)
+    wake_hook: Any = None
 
     def arrive(self, warp_key: int, time: float) -> None:
         phase = self.warp_phase.get(warp_key, 0)
@@ -68,6 +79,8 @@ class TimedSyncBarrier:
         if self.profiler is not None:
             self.profiler.record_barrier(self.tb_index, self.barrier_id,
                                          time)
+        if self.waiters:
+            self.wake_hook(self.waiters)
 
     def pass_time(self, warp_key: int) -> float:
         """When this warp's current sync releases (inf if not yet)."""

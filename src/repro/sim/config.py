@@ -130,11 +130,28 @@ class GPUConfig:
 
     features: WaspFeatures = field(default_factory=WaspFeatures.baseline)
 
+    # Which SM core loop times the traces.  "event" is the
+    # event-skipping core (repro.sim.sm_event): cycle-exact with the
+    # reference, but only awake warps pay per cycle.  "reference" keeps
+    # the original cycle-stepped loop (repro.sim.sm) as an escape hatch
+    # and differential pair; both produce bit-identical results (the
+    # contract enforced by repro.sim.differential and CI).
+    core: str = "event"
+
     def __post_init__(self) -> None:
         if self.processing_blocks <= 0 or self.warp_slots_per_pb <= 0:
             raise SimulationError("SM must have processing blocks and slots")
         if self.l2_sectors_per_cycle <= 0 or self.dram_sectors_per_cycle <= 0:
             raise SimulationError("bandwidths must be positive")
+        if self.core not in ("event", "reference"):
+            raise SimulationError(
+                f"unknown simulator core {self.core!r}: "
+                "expected 'event' or 'reference'"
+            )
+
+    def with_core(self, core: str) -> "GPUConfig":
+        """The same GPU timed by a different SM core loop."""
+        return replace(self, core=core)
 
     # -- convenience constructors ----------------------------------------
 

@@ -1,0 +1,222 @@
+"""Reference-vs-event SM core differential: the exactness contract.
+
+The event-skipping core (:mod:`repro.sim.sm_event`) claims *bit
+identity* with the reference loop, not statistical agreement.  This
+module is the claim's enforcement: it runs both cores over the same
+traces and compares every observable — cycle count, issue totals by
+category and stage, queue-overhead instructions, thread blocks
+completed, the full ``(stage, cause) -> cycles`` stall mix, the stall
+*span* count (a core that merged or split attribution intervals could
+still match the totals), active warp-cycles, the per-bucket activity
+timeline, the memory system's service counters (L1/L2/DRAM hits,
+sectors, SMEM words) and the TMA engine's vector/job counts.
+
+Consumers:
+
+* ``tests/test_core_differential.py`` — tier-1 coverage on small
+  programs and a registry sample.
+* ``repro corediff`` (the CLI) — the full fuzz corpus plus the kernel
+  registry; CI's ``core-differential`` job gates on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CompilerError, ReproError, ResourceError
+from repro.fexec.trace import KernelTrace
+from repro.sim.config import GPUConfig, baseline_a100, wasp_gpu
+from repro.sim.gpu import make_simulator
+
+__all__ = [
+    "CoreDiff",
+    "diff_registry_kernel",
+    "diff_spec",
+    "diff_traces",
+    "differential_gpus",
+]
+
+
+@dataclass
+class CoreDiff:
+    """Outcome of one reference-vs-event comparison."""
+
+    label: str
+    ref_cycles: float = 0.0
+    event_cycles: float = 0.0
+    mismatches: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+
+def differential_gpus(config: GPUConfig | None = None) -> list[GPUConfig]:
+    """A GPU matrix that exercises every event class.
+
+    Baseline (SMEM queues, GTO), the full WASP GPU (RFQ queues,
+    pipeline scheduling, TMA), a queue-starved WASP GPU (constant
+    QUEUE_FULL/QUEUE_EMPTY blocking -> the wake registries), and a
+    bandwidth-starved one (long memory waits -> the wakeup heap).
+    """
+    if config is not None:
+        return [config]
+    return [
+        baseline_a100(),
+        wasp_gpu(),
+        wasp_gpu(rfq_size=2),
+        wasp_gpu().scale_bandwidth(0.25),
+    ]
+
+
+def diff_traces(
+    traces: list[KernelTrace],
+    config: GPUConfig,
+    label: str,
+) -> CoreDiff:
+    """Run both cores over ``traces`` and compare every observable."""
+    diff = CoreDiff(label=label)
+
+    def one(core: str):
+        sim = make_simulator(config, traces, core=core)
+        stats = sim.run()
+        return sim, stats
+
+    try:
+        ref_sim, ref = one("reference")
+    except ReproError as exc:
+        ref_sim, ref = None, (type(exc).__name__, str(exc)[:200])
+    try:
+        event_sim, event = one("event")
+    except ReproError as exc:
+        event_sim, event = None, (type(exc).__name__, str(exc)[:200])
+
+    if ref_sim is None or event_sim is None:
+        # Both must fail identically (same error, same cycle in the
+        # message) — deadlock parity is part of the contract.
+        if ref != event:
+            diff.mismatches.append(
+                f"{label}: outcome: reference={ref!r} event={event!r}"
+            )
+        return diff
+
+    diff.ref_cycles = ref.cycles
+    diff.event_cycles = event.cycles
+
+    def cmp(name: str, a, b) -> None:
+        if a != b:
+            diff.mismatches.append(
+                f"{label}: {name}: reference={a!r} event={b!r}"
+            )
+
+    cmp("cycles", ref.cycles, event.cycles)
+    cmp("issued_total", ref.issued_total, event.issued_total)
+    cmp("issued_by_category", ref.issued_by_category,
+        event.issued_by_category)
+    cmp("issued_by_stage", ref.issued_by_stage, event.issued_by_stage)
+    cmp("queue_overhead_instrs", ref.queue_overhead_instrs,
+        event.queue_overhead_instrs)
+    cmp("tbs_completed", ref.tbs_completed, event.tbs_completed)
+    cmp("stall_cycles", ref.stall_cycles, event.stall_cycles)
+    cmp("stall_spans", ref.stall_spans, event.stall_spans)
+    cmp("active_warp_cycles", ref.active_warp_cycles,
+        event.active_warp_cycles)
+    cmp("timeline", ref.timeline, event.timeline)
+    rm, em = ref_sim.memory.stats, event_sim.memory.stats
+    cmp("memory.l1_hits", rm.l1_hits, em.l1_hits)
+    cmp("memory.l2_hits", rm.l2_hits, em.l2_hits)
+    cmp("memory.dram_accesses", rm.dram_accesses, em.dram_accesses)
+    cmp("memory.total_sectors", rm.total_sectors, em.total_sectors)
+    cmp("memory.smem_words", rm.smem_words, em.smem_words)
+    cmp("memory.drain_time", ref_sim.memory.drain_time(),
+        event_sim.memory.drain_time())
+    cmp("tma.vectors_issued", ref_sim.tma.vectors_issued,
+        event_sim.tma.vectors_issued)
+    cmp("tma.jobs_started", ref_sim.tma.jobs_started,
+        event_sim.tma.jobs_started)
+    return diff
+
+
+def diff_spec(spec, config: GPUConfig | None = None) -> list[CoreDiff]:
+    """Differential for one fuzz spec: the reference program's traces
+    plus every OPTION_SETS specialization, each timed under the
+    differential GPU matrix (functional memory effects are shared by
+    construction — both cores replay the same traces — so the oracle's
+    bit-identical-memory check rides on the fuzz gate, while this
+    compares every timing observable)."""
+    from dataclasses import replace
+
+    from repro.core.compiler import WaspCompiler
+    from repro.fexec.machine import run_kernel
+    from repro.fuzz.generator import build_kernel
+    from repro.fuzz.oracle import OPTION_SETS
+
+    kernel = build_kernel(spec)
+    variants: list[tuple[str, list[KernelTrace]]] = []
+    ref_result = run_kernel(
+        kernel.program, kernel.image_factory(), kernel.launch
+    )
+    variants.append(("plain", ref_result.traces))
+    for name, options in OPTION_SETS:
+        try:
+            compiled = WaspCompiler(options).compile(
+                kernel.program, num_warps=kernel.launch.num_warps
+            )
+        except (CompilerError, ReproError):
+            continue
+        if not compiled.specialized:
+            continue
+        launch = replace(
+            kernel.launch,
+            num_warps=kernel.launch.num_warps * compiled.num_stages,
+        )
+        try:
+            result = run_kernel(
+                compiled.program, kernel.image_factory(), launch
+            )
+        except ReproError:
+            continue  # oracle territory (deadlock checks), not ours
+        variants.append((name, result.traces))
+
+    diffs = []
+    for name, traces in variants:
+        for gpu in differential_gpus(config):
+            label = (
+                f"seed{spec.seed}:{name}:"
+                f"{gpu.features.queue_impl.value}-rfq{gpu.rfq_size}"
+                f"-bw{gpu.l2_sectors_per_cycle:g}"
+            )
+            diffs.append(diff_traces(traces, gpu, label))
+    return diffs
+
+
+def diff_registry_kernel(kernel, eval_config, cache=None) -> list[CoreDiff]:
+    """Differential for one registry kernel under one sweep config.
+
+    Uses the shared trace cache, so sweeps that already ran pay no
+    extra trace generation; both the plain and (when the compiler
+    specializes) the specialized trace sets are compared under the
+    config's GPU.
+    """
+    from repro.experiments.runner import (
+        _GLOBAL_CACHE, _compiler_options_for, _gpu_for,
+    )
+
+    cache = cache or _GLOBAL_CACHE
+    gpu = _gpu_for(kernel, eval_config)
+    diffs = [diff_traces(
+        cache.original(kernel).traces, gpu,
+        f"{kernel.name}:{eval_config.name}:plain",
+    )]
+    options = _compiler_options_for(kernel, eval_config)
+    if options is not None:
+        try:
+            entry = cache.specialized(kernel, options)
+        except (CompilerError, ResourceError):
+            entry = None
+        if entry is not None:
+            diffs.append(diff_traces(
+                entry.traces, gpu,
+                f"{kernel.name}:{eval_config.name}:specialized",
+            ))
+    return diffs

@@ -100,10 +100,9 @@ def simulate_with_energy(traces, config, model: EnergyModel | None = None):
 
     Returns ``(SimResult, EnergyBreakdown)``.
     """
-    from repro.sim.sm import SMSimulator
-    from repro.sim.gpu import _summarize
+    from repro.sim.gpu import _summarize, make_simulator
 
-    sim = SMSimulator(config, traces)
+    sim = make_simulator(config, traces)
     stats = sim.run()
     result = _summarize(sim, stats)
     mem = sim.memory.stats

@@ -14,6 +14,9 @@ it is interval-based and adds only O(1) work per issue attempt.
 
 from __future__ import annotations
 
+import os
+
+from repro.errors import SimulationError
 from repro.fexec.launch import LaunchConfig
 from repro.fexec.machine import run_kernel
 from repro.fexec.memory_image import MemoryImage
@@ -24,8 +27,41 @@ from repro.sim.config import GPUConfig
 from repro.sim.occupancy import Occupancy
 from repro.sim.results import TIMELINE_BUCKET, SimResult, SMStats
 from repro.sim.sm import SMSimulator
+from repro.sim.sm_event import EventSMSimulator
 
-__all__ = ["SimResult", "simulate_kernel", "simulate_program"]
+__all__ = [
+    "SimResult", "make_simulator", "simulate_kernel", "simulate_program",
+]
+
+_CORES = {
+    "event": EventSMSimulator,
+    "reference": SMSimulator,
+}
+
+#: Environment override for the session-wide default core.  An explicit
+#: ``core=`` argument (the differential harness comparing both) always
+#: wins; otherwise the variable beats ``config.core``, so a whole run
+#: (e.g. the nightly fuzz sweep) can be switched without touching
+#: configs.
+_CORE_ENV = "REPRO_SIM_CORE"
+
+
+def make_simulator(
+    config: GPUConfig,
+    traces: list[KernelTrace],
+    occupancy: Occupancy | None = None,
+    profiler: PipelineProfiler | None = None,
+    core: str | None = None,
+) -> SMSimulator:
+    """Instantiate the configured SM core loop for ``traces``."""
+    name = core or os.environ.get(_CORE_ENV) or config.core
+    cls = _CORES.get(name)
+    if cls is None:
+        raise SimulationError(
+            f"unknown simulator core {name!r}: expected one of "
+            f"{sorted(_CORES)}"
+        )
+    return cls(config, traces, occupancy=occupancy, profiler=profiler)
 
 
 def simulate_kernel(
@@ -33,10 +69,11 @@ def simulate_kernel(
     config: GPUConfig,
     occupancy: Occupancy | None = None,
     profiler: PipelineProfiler | None = None,
+    core: str | None = None,
 ) -> SimResult:
     """Replay traces on the timing model and summarize."""
-    sim = SMSimulator(config, traces, occupancy=occupancy,
-                      profiler=profiler)
+    sim = make_simulator(config, traces, occupancy=occupancy,
+                         profiler=profiler, core=core)
     stats = sim.run()
     return _summarize(sim, stats, profiler)
 
@@ -104,4 +141,5 @@ def _summarize(
         queue_profiles=(
             profiler.queue_profiles() if profiler is not None else []
         ),
+        stall_spans=stats.stall_spans,
     )

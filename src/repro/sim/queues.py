@@ -34,6 +34,18 @@ class QueueChannel:
     reserved: int = 0  # entries acquired by in-flight TMA phase-1 vectors
     tb_index: int = 0
     profiler: Any = None  # PipelineProfiler when occupancy is sampled
+    # Event-core wake registration (repro.sim.sm_event).  A warp whose
+    # pop found the channel empty registers on ``empty_waiters``; a
+    # warp whose push found it full registers on ``full_waiters``.  The
+    # owning core installs ``wake_hook`` alongside the first waiter;
+    # the hook drains the list when the blocking condition can have
+    # changed: a push (or reserved-entry fill) for the empty side, a
+    # pop for the full side — ``reserve``/``push_reserved`` keep
+    # ``len + reserved`` constant, so they never free space.  The
+    # reference core leaves all three untouched (zero cost).
+    empty_waiters: list = field(default_factory=list)
+    full_waiters: list = field(default_factory=list)
+    wake_hook: Any = None
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -70,6 +82,8 @@ class QueueChannel:
         self.reserved -= 1
         self._entries.append(ready_time)
         self._record("push")
+        if self.empty_waiters:
+            self.wake_hook(self.empty_waiters)
 
     def push(self, ready_time: float) -> None:
         if not self.can_push():
@@ -78,6 +92,8 @@ class QueueChannel:
             )
         self._entries.append(ready_time)
         self._record("push")
+        if self.empty_waiters:
+            self.wake_hook(self.empty_waiters)
 
     # -- consumer side --------------------------------------------------
 
@@ -97,6 +113,8 @@ class QueueChannel:
             )
         ready = self._entries.popleft()
         self._record("pop")
+        if self.full_waiters:
+            self.wake_hook(self.full_waiters)
         return ready
 
     # -- scheduler scoreboard bits (III-C / III-D) -----------------------

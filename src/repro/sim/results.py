@@ -54,6 +54,12 @@ class SMStats:
     )
     #: Total accounted warp-cycles: issues plus attributed stalls.
     active_warp_cycles: float = 0.0
+    #: Number of closed stall intervals (spans).  Stall attribution is
+    #: interval-based in both SM cores; the span count is part of the
+    #: reference/event differential contract — a core that merged or
+    #: split intervals could still match ``stall_cycles`` totals, but
+    #: not this.
+    stall_spans: int = 0
 
     def count_issue(
         self, time: float, category: InstrCategory, stage: int, tensor_fp: bool
@@ -86,6 +92,7 @@ class SMStats:
         key = (stage, cause)
         self.stall_cycles[key] = self.stall_cycles.get(key, 0.0) + cycles
         self.active_warp_cycles += cycles
+        self.stall_spans += 1
 
 
 @dataclass
@@ -115,6 +122,8 @@ class SimResult:
     #: Queue occupancy profiles; populated only when a profiler was
     #: attached to the simulation.
     queue_profiles: list[QueueChannelProfile] = field(default_factory=list)
+    #: Closed stall intervals (see :attr:`SMStats.stall_spans`).
+    stall_spans: int = 0
 
     @property
     def dynamic_instructions(self) -> int:

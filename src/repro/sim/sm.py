@@ -34,7 +34,9 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.mapping import map_warps, rotate_mapping
-from repro.core.scheduling import WarpSchedState, priority_key
+from repro.core.scheduling import (
+    SchedulingPolicy, compiled_priority, needs_queue_bits,
+)
 from repro.core.specs import ThreadBlockSpec
 from repro.errors import DeadlockError, SimulationError
 from repro.fexec.trace import DynamicInstr, KernelTrace
@@ -50,11 +52,17 @@ from repro.sim.results import SMStats
 from repro.sim.tma import TmaEngine
 
 _TENSOR_FP_UNITS = (FuncUnit.TENSOR, FuncUnit.FP)
+# Pipeline-agnostic arbitration (baseline hardware): plain GTO order
+# regardless of the configured policy.
+_GTO_KEY = compiled_priority(SchedulingPolicy.GTO)
 _SMEM_POP_EXTRA = 1   # LDS + address handled as one synthetic slot + LDS cost
 _SMEM_PUSH_EXTRA = 2  # STS + buffer bookkeeping
 
 
-@dataclass
+# eq=False: thread blocks and warps are identity objects (the event
+# core keeps them in sets and removes them from lists by identity);
+# field-wise comparison would be wrong as well as slow.
+@dataclass(eq=False)
 class _ResidentTB:
     """One thread block currently executing on the SM."""
 
@@ -68,7 +76,7 @@ class _ResidentTB:
         return all(w.done for w in self.warps)
 
 
-@dataclass
+@dataclass(eq=False)
 class _WarpRun:
     """Timing state of one warp."""
 
@@ -92,6 +100,17 @@ class _WarpRun:
     # since then (None while the warp is issuing/eligible).
     prof_mark: float = 0.0
     prof_cause: StallCause | None = None
+    # Index of this warp within its processing block's warp list —
+    # i.e. its place in the reference core's arbitration scan order.
+    # Maintained by the event core (repro.sim.sm_event), which wakes
+    # warps out of order and must re-establish the scan order; the
+    # reference core iterates the list directly and never reads it.
+    pos: int = 0
+    # The warp's incoming queue channels (queues whose dst_stage is
+    # this warp's stage, at this warp's slice), resolved once at
+    # placement so the scheduler's per-cycle scoreboard scan skips the
+    # spec walk and channel lookups.
+    in_channels: tuple = ()
 
     def current(self) -> DynamicInstr | None:
         if self.pc < len(self.instrs):
@@ -131,6 +150,19 @@ class SMSimulator:
             program_registers=first.program_registers,
             smem_words=first.smem_words,
             warp_width=first.warp_width,
+        )
+        # Hot-loop constants, resolved once (the config is frozen).
+        features = config.features
+        self._policy = features.scheduling_policy
+        self._pipeline_aware = features.pipeline_scheduling
+        self._smem_queue = features.queue_impl is QueueImpl.SMEM
+        self._max_loads = config.max_outstanding_loads_per_warp
+        self._int_latency = config.int_latency
+        self._fp_latency = config.fp_latency
+        self._tensor_latency = config.tensor_latency
+        self._key_fn = compiled_priority(self._policy)
+        self._queue_bits = (
+            self._pipeline_aware and needs_queue_bits(self._policy)
         )
         self._pending = list(traces)
         self._resident: list[_ResidentTB] = []
@@ -228,6 +260,12 @@ class SMSimulator:
             )
             self._next_key += 1
             self._age += 1
+            if spec is not None and spec.queues:
+                run.in_channels = tuple(
+                    tb.queues.channel(queue.queue_id, run.slice_id)
+                    for queue in spec.queues
+                    if queue.dst_stage == run.pipe_stage_id
+                )
             if not run.instrs:
                 run.done = True
             if self.profiler is not None:
@@ -353,8 +391,9 @@ class SMSimulator:
         best_key = None
         wake = INFINITY
         greedy = self._greedy[pb_index]
-        policy = self.config.features.scheduling_policy
-        pipeline_aware = self.config.features.pipeline_scheduling
+        # Baseline hardware is pipeline-agnostic: plain GTO order.
+        key_fn = self._key_fn if self._pipeline_aware else _GTO_KEY
+        queue_bits = self._queue_bits
         eligible = self._eligible
         eligible.clear()
         for warp in self._pbs[pb_index]:
@@ -368,8 +407,19 @@ class SMSimulator:
                 warp.wake_at = warp_wake
                 wake = min(wake, warp_wake)
                 continue
-            state = self._sched_state(warp, now) if pipeline_aware else None
-            key = self._priority(policy, warp, state, greedy, now)
+            ready = full = False
+            if queue_bits:
+                # Inlined QueueChannel.has_ready_data / is_full over the
+                # warp's placement-time channel tuple: this runs once
+                # per eligible warp per cycle.
+                for chan in warp.in_channels:
+                    entries = chan._entries
+                    if entries and entries[0] <= now:
+                        ready = True
+                    if len(entries) + chan.reserved >= chan.capacity:
+                        full = True
+            key = key_fn(warp.key, warp.pipe_stage_id, ready, full,
+                         warp.last_issued, warp.age, greedy)
             eligible.append((key, warp))
             if best is None or key < best_key:
                 best, best_key = warp, key
@@ -415,12 +465,20 @@ class SMSimulator:
                 if can:
                     self._execute(warp, now)
                     self._greedy[warp.pb] = warp.key
+                    self._post_steal_issue(warp)
                     issued = True
                     break
                 if cause is not None:
                     self._note_stall(warp, now, cause)
                 warp.wake_at = warp_wake
+                self._post_steal_block(warp)
         return issued, index
+
+    def _post_steal_issue(self, warp: _WarpRun) -> None:
+        """Hook: a loser issued via a borrowed slot (event core only)."""
+
+    def _post_steal_block(self, warp: _WarpRun) -> None:
+        """Hook: a loser re-blocked at steal time (event core only)."""
 
     # -- stall attribution ----------------------------------------------
 
@@ -452,35 +510,6 @@ class SMSimulator:
                 )
         warp.prof_mark = now
 
-    def _priority(self, policy, warp: _WarpRun, state, greedy, now):
-        if state is None:
-            # Baseline hardware is pipeline-agnostic: plain GTO order.
-            greedy_term = 0 if warp.key == greedy else 1
-            return (greedy_term, warp.age)
-        return priority_key(policy, state, greedy)
-
-    def _sched_state(self, warp: _WarpRun, now: float) -> WarpSchedState:
-        incoming_ready = False
-        incoming_full = False
-        spec = warp.tb.trace.tb_spec
-        if spec is not None:
-            for queue in spec.queues:
-                if queue.dst_stage != warp.pipe_stage_id:
-                    continue
-                chan = warp.tb.queues.channel(queue.queue_id, warp.slice_id)
-                if chan.has_ready_data(now):
-                    incoming_ready = True
-                if chan.is_full():
-                    incoming_full = True
-        return WarpSchedState(
-            warp_key=warp.key,
-            pipe_stage_id=warp.pipe_stage_id,
-            incoming_ready=incoming_ready,
-            incoming_full=incoming_full,
-            last_issued=warp.last_issued,
-            age=warp.age,
-        )
-
     # -- issue legality -------------------------------------------------
 
     def _can_issue(
@@ -489,10 +518,10 @@ class SMSimulator:
         """(can issue, wake time, blocking cause when it cannot)."""
         if warp.pending_extra > 0:
             return True, now, None
-        instr = warp.current()
-        if instr is None:
+        if warp.pc >= len(warp.instrs):
             warp.done = True
             return False, INFINITY, None
+        instr = warp.instrs[warp.pc]
         # Register dependences.
         ready = now
         for reg in instr.src_regs:
@@ -520,10 +549,7 @@ class SMSimulator:
         # Outstanding-load limit.
         if instr.opcode is Opcode.LDG:
             warp.outstanding = [t for t in warp.outstanding if t > now]
-            if (
-                len(warp.outstanding)
-                >= self.config.max_outstanding_loads_per_warp
-            ):
+            if len(warp.outstanding) >= self._max_loads:
                 return False, min(warp.outstanding), StallCause.MSHR
         # Barriers.
         if instr.opcode is Opcode.BAR_WAIT:
@@ -544,7 +570,6 @@ class SMSimulator:
     # -- execution ------------------------------------------------------
 
     def _execute(self, warp: _WarpRun, now: float) -> None:
-        cfg = self.config
         # Close the stall-attribution interval: [prof_mark, now) was a
         # stall, [now, now+1) is this issue.
         self._close_stall(warp, now)
@@ -567,13 +592,15 @@ class SMSimulator:
             return
         instr = warp.instrs[warp.pc]
         opcode = instr.opcode
-        smem_queue = cfg.features.queue_impl is QueueImpl.SMEM
+        smem_queue = self._smem_queue
 
-        completion = now + cfg.int_latency
-        if instr.unit is FuncUnit.FP:
-            completion = now + cfg.fp_latency
-        elif instr.unit is FuncUnit.TENSOR:
-            completion = now + cfg.tensor_latency
+        unit = instr.unit
+        if unit is FuncUnit.FP:
+            completion = now + self._fp_latency
+        elif unit is FuncUnit.TENSOR:
+            completion = now + self._tensor_latency
+        else:
+            completion = now + self._int_latency
 
         if opcode is Opcode.LDG:
             completion = self.memory.access_global(now, instr.sectors)
@@ -621,7 +648,7 @@ class SMSimulator:
                     data_ready, warp.tb.trace.warp_width
                 )
                 warp.pending_extra += _SMEM_POP_EXTRA
-            completion = max(completion, data_ready + cfg.int_latency)
+            completion = max(completion, data_ready + self._int_latency)
 
         for reg in instr.dst_regs:
             warp.scoreboard[reg] = completion
