@@ -38,6 +38,7 @@ __all__ = [
     "KernelSimBenchmark",
     "calibrate",
     "check_against_baseline",
+    "check_telemetry_overhead",
 ]
 
 #: Bump when the JSON layout changes incompatibly.
@@ -296,6 +297,47 @@ def check_against_baseline(
                 f"by more than {tolerance:.0%}"
             )
     return problems
+
+
+def check_telemetry_overhead(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = 0.02,
+) -> list[str]:
+    """The telemetry-disabled overhead gate (ISSUE 7 acceptance).
+
+    The harness always measures with the registry disabled (its
+    default state), so the *aggregate* normalized wall-clock of the
+    suite vs the committed baseline bounds what the telemetry code
+    paths cost when off.  The aggregate sum is used rather than
+    per-benchmark values because a 2%% bar is inside single-benchmark
+    noise even after calibration normalization; summing the suite
+    averages that noise away.
+    """
+    if baseline.get("schema") != current.get("schema"):
+        return []  # the schema line from check_against_baseline covers it
+    base_bench = baseline.get("benchmarks", {})
+    shared = [
+        name for name, record in current.get("benchmarks", {}).items()
+        if "normalized" in record
+        and "normalized" in base_bench.get(name, {})
+    ]
+    if not shared:
+        return []
+    base_total = sum(base_bench[n]["normalized"] for n in shared)
+    cur_total = sum(
+        current["benchmarks"][n]["normalized"] for n in shared
+    )
+    if base_total <= 0:
+        return []
+    ratio = cur_total / base_total
+    if ratio > 1.0 + tolerance:
+        return [
+            f"telemetry-disabled overhead: aggregate normalized wall "
+            f"{cur_total:.2f} is {ratio - 1.0:.1%} over baseline "
+            f"{base_total:.2f} (allowed {tolerance:.0%})"
+        ]
+    return []
 
 
 def load_json(path: str) -> dict[str, Any]:

@@ -26,6 +26,7 @@ from benchmarks.perf.harness import (
     Fig14SweepBenchmark,
     KernelSimBenchmark,
     check_against_baseline,
+    check_telemetry_overhead,
     dump_json,
     load_json,
 )
@@ -69,6 +70,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.2,
                         help="allowed normalized wall-clock regression "
                              "(default 0.2 = 20%%)")
+    parser.add_argument("--telemetry-tolerance", type=float,
+                        default=None, metavar="FRAC",
+                        help="with --check: also fail when the suite's "
+                             "aggregate normalized wall-clock (telemetry "
+                             "disabled) exceeds the baseline by this "
+                             "fraction (ISSUE 7 gate: 0.02)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="timed repetitions per benchmark (best-of)")
     parser.add_argument("--no-sweep", action="store_true",
@@ -89,13 +96,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.check:
         baseline = load_json(args.check)
         problems = check_against_baseline(doc, baseline, args.tolerance)
+        if args.telemetry_tolerance is not None:
+            problems += check_telemetry_overhead(
+                doc, baseline, args.telemetry_tolerance
+            )
         if problems:
             print(f"[perf] GATE FAILED vs {args.check}:")
             for line in problems:
                 print(f"  {line}")
             return 1
         print(f"[perf] gate passed vs {args.check} "
-              f"(tolerance {args.tolerance:.0%})")
+              f"(tolerance {args.tolerance:.0%}"
+              + (f", telemetry {args.telemetry_tolerance:.0%}"
+                 if args.telemetry_tolerance is not None else "")
+              + ")")
     return 0
 
 

@@ -32,6 +32,7 @@ from repro.profiling.stalls import (
 )
 from repro.sim.config import GPUConfig
 from repro.sim.occupancy import Occupancy
+from repro.telemetry.spans import span
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.experiments.configs import EvalConfig
@@ -117,8 +118,9 @@ def predict_traces(
     kernel_name: str = "",
 ) -> Prediction:
     """Run the model over functional traces; no simulation involved."""
-    walk = DataflowWalk(gpu, traces, occupancy=occupancy)
-    cycles = walk.run()
+    with span("perfmodel", "dataflow_walk"):
+        walk = DataflowWalk(gpu, traces, occupancy=occupancy)
+        cycles = walk.run()
 
     stats = walk.memory.stats
     mix = MemoryLevelMix(
@@ -132,14 +134,15 @@ def predict_traces(
     }
     channels = {qid: agg.channels for qid, agg in traffic.items()}
     work = compute_stage_work(traces, walk.smem_queue)
-    bounds = compute_bounds(
-        work,
-        gpu.service_rates(),
-        walk.spec,
-        level_mix=mix,
-        queue_residency=residency,
-        queue_channels=channels,
-    )
+    with span("perfmodel", "bounds"):
+        bounds = compute_bounds(
+            work,
+            gpu.service_rates(),
+            walk.spec,
+            level_mix=mix,
+            queue_residency=residency,
+            queue_channels=channels,
+        )
 
     stage = dominant_stage(walk.stalls)
     cause = dominant_cause(walk.stalls, stage)

@@ -23,6 +23,7 @@ from repro.analysis.smem import check_smem
 from repro.core.specs import ThreadBlockSpec
 from repro.errors import VerificationError
 from repro.isa.program import Program
+from repro.telemetry.spans import span
 
 
 def verify_program(
@@ -36,26 +37,27 @@ def verify_program(
     unresolved branch targets) short-circuits the protocol passes,
     since stage partitioning would be meaningless.
     """
-    limits = limits or VerifyLimits()
-    report = DiagnosticReport()
+    with span("verifier", "verify"):
+        limits = limits or VerifyLimits()
+        report = DiagnosticReport()
 
-    structural = program.structural_diagnostics()
-    report.extend(structural)
-    if any(d.rule in ("WASP-C001", "WASP-C002", "WASP-C004")
-           for d in structural):
+        structural = program.structural_diagnostics()
+        report.extend(structural)
+        if any(d.rule in ("WASP-C001", "WASP-C002", "WASP-C004")
+               for d in structural):
+            return report
+
+        view = build_view(program)
+        sites = collect_sites(view)
+        spec = program.tb_spec if isinstance(
+            program.tb_spec, ThreadBlockSpec
+        ) else None
+
+        report.extend(check_queues(view, sites, spec))
+        report.extend(check_deadlock(view, sites, spec))
+        report.extend(check_smem(view, sites))
+        report.extend(check_resources(view, spec, limits))
         return report
-
-    view = build_view(program)
-    sites = collect_sites(view)
-    spec = program.tb_spec if isinstance(
-        program.tb_spec, ThreadBlockSpec
-    ) else None
-
-    report.extend(check_queues(view, sites, spec))
-    report.extend(check_deadlock(view, sites, spec))
-    report.extend(check_smem(view, sites))
-    report.extend(check_resources(view, spec, limits))
-    return report
 
 
 def verify_or_raise(

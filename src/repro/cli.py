@@ -38,6 +38,59 @@ _ARTIFACTS = {
 }
 
 
+def _add_metrics_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="enable telemetry and write a repro-metrics-v1 JSON "
+             "snapshot of the run",
+    )
+    parser.add_argument(
+        "--metrics-prom", default=None, metavar="PATH",
+        help="also write the metrics snapshot in Prometheus text "
+             "exposition format",
+    )
+
+
+def _metrics_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "metrics_out", None)
+        or getattr(args, "metrics_prom", None)
+    )
+
+
+def _enable_metrics(args: argparse.Namespace) -> None:
+    """Turn the registry on before any instrumented work runs."""
+    if _metrics_requested(args):
+        from repro.telemetry.registry import TELEMETRY
+
+        TELEMETRY.enable()
+
+
+def _write_metrics(args: argparse.Namespace, command: str) -> None:
+    """Emit the end-of-run snapshot for ``--metrics-out`` flags."""
+    if not _metrics_requested(args):
+        return
+    from repro.telemetry.registry import TELEMETRY
+    from repro.telemetry.snapshot import (
+        build_metrics_document,
+        write_metrics_outputs,
+    )
+    from repro.telemetry.spans import SPANS
+
+    doc = build_metrics_document(
+        TELEMETRY.snapshot(), command=command, spans=SPANS
+    )
+    write_metrics_outputs(
+        doc, getattr(args, "metrics_out", None),
+        getattr(args, "metrics_prom", None),
+    )
+    if getattr(args, "metrics_out", None):
+        print(f"[wrote {len(doc['metrics'])} metric series to "
+              f"{args.metrics_out}]")
+    if getattr(args, "metrics_prom", None):
+        print(f"[wrote Prometheus metrics to {args.metrics_prom}]")
+
+
 def _add_cache_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None,
@@ -91,6 +144,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a Chrome trace of a representative workload (the "
              "sweep's first benchmark under WASP_GPU) for Perfetto",
     )
+    _add_metrics_flags(parser)
     _add_cache_flags(parser)
     return parser
 
@@ -133,6 +187,7 @@ def build_profile_parser() -> argparse.ArgumentParser:
         "--trace-capacity", type=int, default=None,
         help="event ring-buffer size (oldest events drop beyond this)",
     )
+    _add_metrics_flags(parser)
     _add_cache_flags(parser)
     return parser
 
@@ -216,6 +271,7 @@ def build_advise_parser() -> argparse.ArgumentParser:
         help="write the advise report as JSON "
              "(schema repro-advise-report-v1)",
     )
+    _add_metrics_flags(parser)
     _add_cache_flags(parser)
     return parser
 
@@ -224,6 +280,7 @@ def run_advise(argv: list[str]) -> int:
     """``repro advise <workload>``: analytical configuration advice."""
     args = build_advise_parser().parse_args(argv)
     _configure_cache(args)
+    _enable_metrics(args)
 
     from repro.analysis.perfmodel import SUGGESTION_MARGIN, advise_workload
     from repro.workloads.registry import all_benchmarks
@@ -264,6 +321,7 @@ def run_advise(argv: list[str]) -> int:
         print(f"[wrote advise JSON to {args.json_out}]")
     total = sum(len(r.kernels) for r in reports)
     print(f"[advised {total} kernel(s) in {time.time() - start:.1f}s]")
+    _write_metrics(args, "advise")
     return 0
 
 
@@ -386,6 +444,7 @@ def build_fuzz_parser() -> argparse.ArgumentParser:
         "--json-out", default=None, metavar="PATH",
         help="write the fuzz report as machine-readable JSON",
     )
+    _add_metrics_flags(parser)
     _add_cache_flags(parser)
     return parser
 
@@ -394,6 +453,7 @@ def run_fuzz_cli(argv: list[str]) -> int:
     """``repro fuzz``: the differential fuzzing harness."""
     args = build_fuzz_parser().parse_args(argv)
     _configure_cache(args)
+    _enable_metrics(args)
 
     from pathlib import Path
 
@@ -428,6 +488,7 @@ def run_fuzz_cli(argv: list[str]) -> int:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(report.to_json(), handle, indent=2)
         print(f"[wrote fuzz JSON to {args.json_out}]")
+    _write_metrics(args, "fuzz")
     failed = bool(report.failures) or report.seeds_run == 0
     if args.expect_failures:
         if failed:
@@ -513,6 +574,7 @@ def build_corediff_parser() -> argparse.ArgumentParser:
         "--json-out", default=None, metavar="PATH",
         help="write the per-comparison report as JSON",
     )
+    _add_metrics_flags(parser)
     _add_cache_flags(parser)
     return parser
 
@@ -521,6 +583,7 @@ def run_corediff(argv: list[str]) -> int:
     """``repro corediff``: the event-core exactness gate."""
     args = build_corediff_parser().parse_args(argv)
     _configure_cache(args)
+    _enable_metrics(args)
 
     from pathlib import Path
 
@@ -566,24 +629,216 @@ def run_corediff(argv: list[str]) -> int:
         print(f"MISMATCH {diff.label}")
         for line in diff.mismatches:
             print(f"  {line}")
+    ref_wall = sum(d.ref_wall_s for d in diffs)
+    event_wall = sum(d.event_wall_s for d in diffs)
+    print(_corediff_perf_text(diffs))
     print(
         f"corediff: {len(diffs) - len(bad)}/{len(diffs)} comparisons "
-        f"bit-identical ({time.time() - start:.1f}s)"
+        f"bit-identical ({time.time() - start:.1f}s; reference "
+        f"{ref_wall:.2f}s vs event {event_wall:.2f}s"
+        + (f", event {ref_wall / event_wall:.2f}x faster overall)"
+           if event_wall > 0 else ")")
     )
     if args.json_out:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(
-                {"comparisons": [
-                    {"label": d.label, "ok": d.ok,
-                     "ref_cycles": d.ref_cycles,
-                     "event_cycles": d.event_cycles,
-                     "mismatches": d.mismatches}
-                    for d in diffs
-                ]},
+                {
+                    "comparisons": [d.to_json() for d in diffs],
+                    "ref_wall_s": round(ref_wall, 4),
+                    "event_wall_s": round(event_wall, 4),
+                    "overall_speedup": round(
+                        ref_wall / event_wall, 3
+                    ) if event_wall > 0 else 0.0,
+                },
                 handle, indent=2,
             )
         print(f"[wrote corediff JSON to {args.json_out}]")
+    _write_metrics(args, "corediff")
     return 1 if bad or not diffs else 0
+
+
+def _corediff_perf_text(diffs) -> str:
+    """Per-kernel wall-time table: the slowest event-core comparisons
+    with the per-comparison speedup over the reference core."""
+    from repro.experiments.reporting import format_table
+
+    slowest = sorted(
+        diffs, key=lambda d: d.event_wall_s, reverse=True
+    )[:10]
+    rows = [
+        [
+            d.label,
+            f"{d.ref_wall_s * 1e3:.1f}",
+            f"{d.event_wall_s * 1e3:.1f}",
+            f"{d.speedup:.2f}x",
+            d.event_issued,
+            d.event_events,
+        ]
+        for d in slowest
+    ]
+    return format_table(
+        ["comparison", "ref ms", "event ms", "speedup", "issued",
+         "events"],
+        rows,
+        title="Per-core wall time (slowest 10 comparisons)",
+    )
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Telemetry smoke run: execute a small sweep with "
+                    "the metrics registry enabled and emit the "
+                    "repro-metrics-v1 snapshot (JSON and/or Prometheus "
+                    "text format).  Covers the event core, cache, "
+                    "process-pool and pass-timing metric families.",
+    )
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=["pointnet"],
+        help="benchmarks to sweep for the snapshot (default: pointnet)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="workload scale factor (default 0.25)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: REPRO_JOBS or 1); invariant "
+             "counters are identical for any value",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the repro-metrics-v1 JSON snapshot here",
+    )
+    parser.add_argument(
+        "--prom-out", default=None, metavar="PATH",
+        help="write the Prometheus text exposition here",
+    )
+    _add_cache_flags(parser)
+    return parser
+
+
+def run_metrics(argv: list[str]) -> int:
+    """``repro metrics``: telemetry-enabled smoke sweep + snapshot."""
+    args = build_metrics_parser().parse_args(argv)
+    _configure_cache(args)
+
+    from repro.experiments.configs import standard_configs
+    from repro.experiments.parallel import run_sweep
+    from repro.telemetry.registry import TELEMETRY
+    from repro.telemetry.snapshot import (
+        build_metrics_document,
+        missing_families,
+        render_prometheus,
+        validate_metrics_document,
+        write_metrics_outputs,
+    )
+    from repro.telemetry.spans import SPANS
+    from repro.workloads.registry import all_benchmarks
+
+    known = set(all_benchmarks())
+    unknown = [n for n in args.benchmarks if n not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown benchmark(s) {unknown}; choose from: "
+            + ", ".join(sorted(known))
+        )
+
+    TELEMETRY.enable()
+    start = time.time()
+    configs = [
+        c for c in standard_configs()
+        if c.name in ("BASELINE", "WASP_GPU")
+    ] or standard_configs()[:1]
+    run_sweep(args.benchmarks, args.scale, configs, jobs=args.jobs)
+
+    doc = build_metrics_document(
+        TELEMETRY.snapshot(), command="metrics", spans=SPANS
+    )
+    problems = validate_metrics_document(doc)
+    problems += [
+        f"missing required metric family {prefix}*"
+        for prefix in missing_families(doc)
+    ]
+    write_metrics_outputs(doc, args.json_out, args.prom_out)
+    if args.json_out:
+        print(f"[wrote metrics JSON to {args.json_out}]")
+    if args.prom_out:
+        print(f"[wrote Prometheus metrics to {args.prom_out}]")
+    if not args.json_out and not args.prom_out:
+        print(render_prometheus(doc), end="")
+    print(
+        f"metrics: {len(doc['metrics'])} series, "
+        f"{doc['spans']['count']} spans across "
+        f"{len(doc['spans']['subsystems'])} subsystems "
+        f"({time.time() - start:.1f}s)"
+    )
+    for problem in problems:
+        print(f"INVALID: {problem}")
+    return 1 if problems else 0
+
+
+def build_bench_report_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench report",
+        description="Perf-trajectory dashboard: read every committed "
+                    "BENCH_*.json (plus an optional freshly measured "
+                    "run) and render a per-benchmark regression table "
+                    "on calibration-normalized wall-clock.",
+    )
+    parser.add_argument(
+        "--dir", default=".", metavar="DIR",
+        help="directory holding the BENCH_*.json files (default: .)",
+    )
+    parser.add_argument(
+        "--current", default=None, metavar="PATH",
+        help="a freshly measured perf-harness document to diff "
+             "against the committed baseline (write one with "
+             "'python -m benchmarks.perf.run --output PATH')",
+    )
+    parser.add_argument(
+        "--baseline", default="BENCH_core", metavar="STEM",
+        help="committed file to diff against (default: BENCH_core)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="normalized regression threshold (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the repro-bench-report-v1 document as JSON",
+    )
+    return parser
+
+
+def run_bench_report(argv: list[str]) -> int:
+    """``repro bench report``: the perf-trajectory dashboard."""
+    args = build_bench_report_parser().parse_args(argv)
+
+    from repro.telemetry.trajectory import (
+        build_bench_report,
+        render_bench_report,
+    )
+
+    current = None
+    if args.current:
+        with open(args.current, "r", encoding="utf-8") as handle:
+            current = json.load(handle)
+    report = build_bench_report(
+        directory=args.dir,
+        current=current,
+        baseline_name=args.baseline,
+        tolerance=args.tolerance,
+    )
+    if not report["rows"]:
+        print(f"bench report: no BENCH_*.json files under {args.dir}")
+        return 1
+    print(render_bench_report(report))
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+        print(f"[wrote bench report JSON to {args.json_out}]")
+    return 1 if report["summary"]["regressions"] else 0
 
 
 def run_lint(argv: list[str]) -> int:
@@ -651,10 +906,12 @@ def run_profile(argv: list[str]) -> int:
     """``repro profile <benchmark>``: per-kernel pipeline profiles."""
     args = build_profile_parser().parse_args(argv)
     _configure_cache(args)
+    _enable_metrics(args)
 
     from repro.experiments.runner import GLOBAL_CACHE, profile_kernel
     from repro.profiling import report as profreport
     from repro.profiling.chrometrace import write_chrome_trace
+    from repro.telemetry.spans import SPANS
     from repro.workloads import get_benchmark
 
     config = _named_config(args.config)
@@ -699,6 +956,7 @@ def run_profile(argv: list[str]) -> int:
             args.trace_out, sections,
             metadata={"benchmark": bench.name, "config": config.name,
                       "scale": args.scale},
+            spans=SPANS,
         )
         print(
             f"[wrote {len(trace['traceEvents'])} trace events to "
@@ -718,6 +976,7 @@ def run_profile(argv: list[str]) -> int:
         print(f"[wrote profile JSON to {args.json_out}]")
     print(f"[profiled {len(kernels)} kernel(s) in "
           f"{time.time() - start:.1f}s]")
+    _write_metrics(args, "profile")
     return 0
 
 
@@ -823,6 +1082,12 @@ def main(argv: list[str] | None = None) -> int:
         return run_advise(argv[1:])
     if argv and argv[0] == "corediff":
         return run_corediff(argv[1:])
+    if argv and argv[0] == "metrics":
+        return run_metrics(argv[1:])
+    if argv and argv[0] == "bench":
+        if argv[1:2] == ["report"]:
+            return run_bench_report(argv[2:])
+        raise SystemExit("usage: repro bench report [--help]")
     args = build_parser().parse_args(argv)
     if args.artifact == "list":
         width = max(len(k) for k in _ARTIFACTS)
@@ -838,16 +1103,23 @@ def main(argv: list[str] | None = None) -> int:
               "(repro advise --help)")
         print("  corediff  Reference-vs-event core differential "
               "(repro corediff --help)")
+        print("  metrics   Telemetry snapshot smoke run "
+              "(repro metrics --help)")
+        print("  bench     Perf-trajectory dashboard "
+              "(repro bench report --help)")
         return 0
 
     _configure_cache(args)
+    _enable_metrics(args)
 
     if args.artifact == "all":
         for key in sorted(_ARTIFACTS):
             _run_one(key, args)
             print()
+        _write_metrics(args, "all")
         return 0
     _run_one(args.artifact, args)
+    _write_metrics(args, args.artifact)
     return 0
 
 

@@ -30,6 +30,7 @@ from repro.core.compiler.tma_offload import OffloadReport, offload_pipeline
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import FuncUnit, Opcode
 from repro.isa.program import Program
+from repro.telemetry.spans import span
 
 # A100: 192 KB combined L1/SMEM per SM; up to ~164 KB usable as SMEM.
 DEFAULT_SMEM_CAPACITY_WORDS = (164 * 1024) // 4
@@ -157,6 +158,10 @@ class WaspCompiler:
         pipeline stage can be extracted — callers fall back to the
         baseline kernel, matching the paper's per-kernel opt-in.
         """
+        with span("compiler", "compile"):
+            return self._compile(program, num_warps)
+
+    def _compile(self, program: Program, num_warps: int) -> CompileResult:
         program.validate()
         opts = self.options
         original_registers = program.register_count()
@@ -173,13 +178,15 @@ class WaspCompiler:
                     work, opts.smem_capacity_words
                 )
 
-        pdg = build_pdg(work)
-        plan = plan_extraction(
-            pdg,
-            max_stages=opts.max_stages,
-            enable_streaming=opts.enable_streaming,
-            enable_tile=opts.enable_tile,
-        )
+        with span("compiler", "build_pdg"):
+            pdg = build_pdg(work)
+        with span("compiler", "plan_extraction"):
+            plan = plan_extraction(
+                pdg,
+                max_stages=opts.max_stages,
+                enable_streaming=opts.enable_streaming,
+                enable_tile=opts.enable_tile,
+            )
         if plan.num_stages <= 1 or not plan.loads:
             return self._emit(CompileResult(
                 original=program,
@@ -191,7 +198,8 @@ class WaspCompiler:
             ))
 
         tag_keys(work)
-        stages = build_stage_programs(work, plan)
+        with span("compiler", "stage_split"):
+            stages = build_stage_programs(work, plan)
         offload = None
         if opts.enable_tma_offload:
             offload = offload_pipeline(stages)
@@ -206,14 +214,15 @@ class WaspCompiler:
                 reason="pipeline collapsed to a single stage",
             ))
 
-        combined = finalize_pipeline(
-            name=program.name,
-            stages=kept,
-            num_warps=num_warps,
-            queue_size=opts.queue_size,
-            smem_words=work.smem_words,
-            smem_buffers=work.smem_buffers,
-        )
+        with span("compiler", "finalize"):
+            combined = finalize_pipeline(
+                name=program.name,
+                stages=kept,
+                num_warps=num_warps,
+                queue_size=opts.queue_size,
+                smem_words=work.smem_words,
+                smem_buffers=work.smem_buffers,
+            )
         diagnostics: list = []
         if opts.verify:
             # Imported lazily: the analysis package partitions the

@@ -35,7 +35,13 @@ from repro.experiments.runner import (
     CacheStats,
     KernelResult,
     _compiler_options_for,
+    harvest_cache_stats,
     run_kernel,
+)
+from repro.telemetry.registry import (
+    SECONDS_BUCKETS,
+    TELEMETRY,
+    MetricsSnapshot,
 )
 from repro.workloads import get_benchmark
 from repro.workloads.base import Benchmark
@@ -165,6 +171,32 @@ class SweepReport:
             self.timings, key=lambda t: t.seconds, reverse=True
         )[:count]
 
+    @property
+    def utilization(self) -> float:
+        """Fraction of the pool's wall-clock capacity spent working."""
+        capacity = self.wall_seconds * max(1, self.jobs)
+        if capacity <= 0:
+            return 0.0
+        return min(1.0, self.worker_seconds / capacity)
+
+    def to_json(self) -> dict[str, object]:
+        """Structured form for sweep/CI artifacts (cache stats
+        included so hit/miss behaviour is captured per run)."""
+        phases: dict[str, int] = {}
+        for timing in self.timings:
+            phases[timing.phase] = phases.get(timing.phase, 0) + 1
+        return {
+            "jobs": self.jobs,
+            "num_tasks": self.num_tasks,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "worker_seconds": round(self.worker_seconds, 4),
+            "utilization": round(self.utilization, 4),
+            "tasks_by_phase": phases,
+            "cache": self.stats.to_json(),
+            "issued_total": self.issued_total,
+            "prediction_rows": len(self.prediction_rows),
+        }
+
 
 class SweepResult:
     """Assembled results of one sweep, indexed like the serial loops."""
@@ -234,10 +266,28 @@ def _record_report(report: SweepReport) -> None:
 # -- worker side ------------------------------------------------------------
 
 
-def _worker_init(cache_dir: str | None, enabled: bool) -> None:
+def _worker_init(
+    cache_dir: str | None, enabled: bool, telemetry: bool = False
+) -> None:
     from repro.experiments.runner import configure_global_cache
 
     configure_global_cache(cache_dir=cache_dir, enabled=enabled)
+    if telemetry:
+        TELEMETRY.enable()
+
+
+def _tel_delta(
+    before: MetricsSnapshot | None,
+) -> MetricsSnapshot | None:
+    """This worker's registry delta since ``before`` (``None`` when
+    telemetry is off — nothing crosses the process boundary)."""
+    if before is None:
+        return None
+    return TELEMETRY.snapshot().since(before)
+
+
+def _tel_before() -> MetricsSnapshot | None:
+    return TELEMETRY.snapshot() if TELEMETRY.enabled else None
 
 
 def _task_kernel(task: KernelTask):
@@ -249,6 +299,7 @@ def _run_warm_task(spec: tuple[KernelTask, str]):
     task, mode = spec
     start = time.perf_counter()
     before = GLOBAL_CACHE.stats.snapshot()
+    tel_before = _tel_before()
     kernel = _task_kernel(task)
     if mode == "original":
         GLOBAL_CACHE.original(kernel)
@@ -260,13 +311,15 @@ def _run_warm_task(spec: tuple[KernelTask, str]):
             except CompilerError:
                 pass
     elapsed = time.perf_counter() - start
-    return task, elapsed, GLOBAL_CACHE.stats.since(before)
+    return (task, elapsed, GLOBAL_CACHE.stats.since(before),
+            _tel_delta(tel_before))
 
 
 def _run_sim_task(task: KernelTask):
     """Time one kernel×config; returns a kernel-stripped result."""
     start = time.perf_counter()
     before = GLOBAL_CACHE.stats.snapshot()
+    tel_before = _tel_before()
     kernel = _task_kernel(task)
     result = run_kernel(
         kernel, task.config, GLOBAL_CACHE, predict=task.predict
@@ -275,7 +328,8 @@ def _run_sim_task(task: KernelTask):
     # pickled back; the parent reattaches its own Kernel object.
     result.kernel = None
     elapsed = time.perf_counter() - start
-    return task, result, elapsed, GLOBAL_CACHE.stats.since(before)
+    return (task, result, elapsed, GLOBAL_CACHE.stats.since(before),
+            _tel_delta(tel_before))
 
 
 # -- orchestration ----------------------------------------------------------
@@ -335,8 +389,62 @@ def run_sweep(
     else:
         _run_parallel(tasks, benchmarks, results, report, jobs)
     report.wall_seconds = time.perf_counter() - start
+    _harvest_pool(report)
     _record_report(report)
     return SweepResult(benchmarks, configs, results, report)
+
+
+def _harvest_pool(report: SweepReport) -> None:
+    """Fold one sweep's pool statistics into the registry.
+
+    Simulate-task counts are deterministic in the task list, hence
+    ``invariant=True``; warm tasks only exist for cache-enabled
+    parallel runs, and every timing metric is wall clock, so the rest
+    is ``invariant=False``.
+    """
+    if not TELEMETRY.enabled:
+        return
+    phases: dict[str, tuple[int, float]] = {}
+    for timing in report.timings:
+        count, seconds = phases.get(timing.phase, (0, 0.0))
+        phases[timing.phase] = (count + 1, seconds + timing.seconds)
+    for phase, (count, seconds) in sorted(phases.items()):
+        TELEMETRY.counter(
+            "repro_pool_tasks_total", {"phase": phase},
+            help="Sweep tasks completed by phase",
+            invariant=phase == "simulate",
+        ).inc(count)
+        TELEMETRY.counter(
+            "repro_pool_worker_seconds_total", {"phase": phase},
+            help="Wall-clock seconds spent inside sweep tasks",
+            invariant=False,
+        ).inc(seconds)
+    task_seconds = TELEMETRY.histogram(
+        "repro_pool_task_seconds", bounds=SECONDS_BUCKETS,
+        help="Per-task wall-clock duration", invariant=False,
+    )
+    for timing in report.timings:
+        task_seconds.observe(timing.seconds)
+    # Queue wait: pool capacity the sweep paid for but did not use
+    # (workers idle between tasks, warm-phase barriers, stragglers).
+    idle = max(
+        0.0,
+        report.wall_seconds * max(1, report.jobs)
+        - report.worker_seconds,
+    )
+    TELEMETRY.counter(
+        "repro_pool_idle_seconds_total",
+        help="Pool capacity spent waiting rather than working",
+        invariant=False,
+    ).inc(idle)
+    TELEMETRY.gauge(
+        "repro_pool_jobs", help="Worker processes of the last sweep",
+    ).set_max(report.jobs)
+    TELEMETRY.gauge(
+        "repro_pool_utilization",
+        help="worker_seconds / (wall_seconds * jobs) of the last sweep",
+    ).set_max(report.utilization)
+    harvest_cache_stats(report.stats)
 
 
 def _run_serial(tasks, benchmarks, results, report) -> None:
@@ -371,15 +479,17 @@ def _run_parallel(tasks, benchmarks, results, report, jobs) -> None:
     with ProcessPoolExecutor(
         max_workers=jobs,
         initializer=_worker_init,
-        initargs=(cache_dir, enabled),
+        initargs=(cache_dir, enabled, TELEMETRY.enabled),
     ) as pool:
         if enabled:
             _warm_phase(pool, tasks, benchmarks, report)
-        for task, result, elapsed, stats in pool.map(
+        for task, result, elapsed, stats, tel in pool.map(
             _run_sim_task, tasks, chunksize=1
         ):
             result.kernel = benchmarks[task.benchmark].kernel(task.kernel)
             report.stats.merge(stats)
+            if tel is not None:
+                TELEMETRY.merge_snapshot(tel)
             report.worker_seconds += elapsed
             report.add_sim(result.sim)
             report.add_prediction(task, result)
@@ -413,10 +523,12 @@ def _warm_phase(pool, tasks, benchmarks, report) -> None:
         if okey is not None:
             specialized.setdefault((digest, okey), (task, "specialized"))
     for wave in (list(originals.values()), list(specialized.values())):
-        for task, elapsed, stats in pool.map(
+        for task, elapsed, stats, tel in pool.map(
             _run_warm_task, wave, chunksize=1
         ):
             report.stats.merge(stats)
+            if tel is not None:
+                TELEMETRY.merge_snapshot(tel)
             report.worker_seconds += elapsed
             report.timings.append(
                 TaskTiming(

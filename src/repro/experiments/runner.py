@@ -31,6 +31,8 @@ from repro.fexec.trace import TRACE_FORMAT_VERSION, KernelTrace
 from repro.fexec.trace_store import TraceStore
 from repro.sim.config import GPUConfig
 from repro.sim.gpu import SimResult, simulate_kernel
+from repro.telemetry.registry import TELEMETRY
+from repro.telemetry.spans import span
 from repro.workloads.base import Benchmark, Kernel
 
 _OPT_KEY_FIELDS = (
@@ -84,6 +86,38 @@ class CacheStats:
         self.disk_hits += other.disk_hits
         self.generations += other.generations
         self.disk_writes += other.disk_writes
+
+    def to_json(self) -> dict[str, int]:
+        """Structured form for SweepReport/CI artifacts."""
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "generations": self.generations,
+            "disk_writes": self.disk_writes,
+            "lookups": self.lookups,
+        }
+
+
+def harvest_cache_stats(stats: CacheStats) -> None:
+    """Fold trace-cache counters into the metrics registry.
+
+    Tier locality (memory vs disk hit, and with the disk tier off even
+    the generation count) depends on process scheduling, so every tier
+    is ``invariant=False`` — excluded from the jobs-invariance
+    contract.
+    """
+    if not TELEMETRY.enabled:
+        return
+    for tier, value in (
+        ("memory_hit", stats.memory_hits),
+        ("disk_hit", stats.disk_hits),
+        ("generation", stats.generations),
+        ("disk_write", stats.disk_writes),
+    ):
+        TELEMETRY.counter(
+            "repro_cache_trace_lookups_total", {"tier": tier},
+            help="TraceCache lookups by outcome tier", invariant=False,
+        ).inc(value)
 
 
 @dataclass
@@ -181,9 +215,10 @@ class TraceCache:
         self, key: str, kernel: Kernel, options: WaspCompilerOptions | None
     ) -> _TraceEntry:
         if options is None:
-            traces = run_functional(
-                kernel.program, kernel.image_factory(), kernel.launch
-            ).traces
+            with span("fexec", "trace"):
+                traces = run_functional(
+                    kernel.program, kernel.image_factory(), kernel.launch
+                ).traces
             self.stats.generations += 1
             entry = _TraceEntry(traces=traces, compile_result=None)
             self._persist(key, entry)
@@ -197,9 +232,10 @@ class TraceCache:
                 kernel.launch,
                 num_warps=kernel.launch.num_warps * result.num_stages,
             )
-            traces = run_functional(
-                result.program, kernel.image_factory(), launch
-            ).traces
+            with span("fexec", "trace"):
+                traces = run_functional(
+                    result.program, kernel.image_factory(), launch
+                ).traces
             self.stats.generations += 1
             entry = _TraceEntry(traces=traces, compile_result=result)
             self._persist(key, entry, num_stages=result.num_stages)

@@ -27,6 +27,7 @@ import gzip
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 
 from repro.fexec.trace import (
@@ -35,9 +36,32 @@ from repro.fexec.trace import (
     decode_traces,
     encode_traces,
 )
+from repro.telemetry.registry import TELEMETRY
 
 DEFAULT_CACHE_DIR = ".repro_cache"
 _DISABLE_VALUES = {"0", "off", "false", "no"}
+
+
+def _tel_io(op: str, outcome: str, nbytes: int, seconds: float) -> None:
+    """Fold one store operation into the registry (cold path only).
+
+    Disk locality depends on what other processes wrote, so these are
+    ``invariant=False`` — excluded from the jobs-invariance contract.
+    """
+    labels = {"op": op, "outcome": outcome}
+    TELEMETRY.counter(
+        "repro_tracestore_ops_total", labels,
+        help="TraceStore loads/saves by outcome", invariant=False,
+    ).inc()
+    TELEMETRY.counter(
+        "repro_tracestore_bytes_total", labels,
+        help="Compressed bytes moved by the TraceStore",
+        invariant=False,
+    ).inc(nbytes)
+    TELEMETRY.counter(
+        "repro_tracestore_io_seconds_total", labels,
+        help="Wall-clock seconds in TraceStore I/O", invariant=False,
+    ).inc(seconds)
 
 
 def cache_enabled() -> bool:
@@ -74,6 +98,8 @@ class TraceStore:
         :class:`KernelTrace` objects.
         """
         path = self._path(key)
+        telemetry = TELEMETRY.enabled
+        started = time.perf_counter() if telemetry else 0.0
         try:
             with gzip.open(path, "rt", encoding="utf-8") as fh:
                 envelope = json.load(fh)
@@ -85,8 +111,14 @@ class TraceStore:
                 return None
             payload = dict(envelope.get("payload") or {})
             payload["traces"] = decode_traces(payload.get("traces") or [])
+            if telemetry:
+                _tel_io("load", "hit", path.stat().st_size,
+                        time.perf_counter() - started)
             return payload
         except (OSError, EOFError, ValueError, KeyError, TypeError):
+            if telemetry:
+                _tel_io("load", "miss", 0,
+                        time.perf_counter() - started)
             return None
 
     def save(self, key: str, traces: list[KernelTrace], **meta) -> bool:
@@ -101,6 +133,8 @@ class TraceStore:
             "key": key,
             "payload": {"traces": encode_traces(traces), **meta},
         }
+        telemetry = TELEMETRY.enabled
+        started = time.perf_counter() if telemetry else 0.0
         try:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -117,8 +151,15 @@ class TraceStore:
                 except OSError:
                     pass
                 raise
+            if telemetry:
+                _tel_io("save", "written",
+                        self._path(key).stat().st_size,
+                        time.perf_counter() - started)
             return True
         except OSError:
+            if telemetry:
+                _tel_io("save", "failed", 0,
+                        time.perf_counter() - started)
             return False
 
     # -- maintenance --------------------------------------------------------

@@ -40,6 +40,7 @@ from repro.fexec.trace import KernelTrace
 from repro.fuzz.generator import build_kernel
 from repro.fuzz.spec import SPEC_VERSION, FuzzSpec
 from repro.isa.opcodes import Opcode
+from repro.telemetry.registry import TELEMETRY
 from repro.workloads.base import Kernel
 
 #: Bumped whenever oracle checks change; invalidates cached verdicts.
@@ -190,6 +191,17 @@ def _store():
     return GLOBAL_CACHE.store
 
 
+def _tel_verdict(outcome: str) -> None:
+    """Count one verdict-cache lookup.  Disk locality depends on prior
+    runs, so the series is ``invariant=False``."""
+    if not TELEMETRY.enabled:
+        return
+    TELEMETRY.counter(
+        "repro_fuzz_verdict_cache_total", {"outcome": outcome},
+        help="Fuzz verdict-cache lookups by outcome", invariant=False,
+    ).inc()
+
+
 def _count_opcode(traces: list[KernelTrace], *opcodes: Opcode) -> int:
     return sum(
         1
@@ -254,7 +266,12 @@ def run_oracle(
     key = verdict_key(kernel, metamorphic) if store is not None else None
     if store is not None and key is not None:
         payload = store.load(key)
-        if payload is not None and payload.get("fuzz_verdict") == "pass":
+        hit = (
+            payload is not None
+            and payload.get("fuzz_verdict") == "pass"
+        )
+        _tel_verdict("hit" if hit else "miss")
+        if hit:
             report.from_cache = True
             report.specialized_under = list(
                 payload.get("specialized_under", [])

@@ -23,8 +23,14 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
-from repro.experiments.parallel import _worker_init, resolve_jobs
+from repro.experiments.parallel import (
+    _tel_before,
+    _tel_delta,
+    _worker_init,
+    resolve_jobs,
+)
 from repro.experiments.runner import GLOBAL_CACHE
+from repro.telemetry.registry import TELEMETRY
 from repro.fuzz.oracle import (
     FuzzFailure,
     FuzzWarning,
@@ -126,14 +132,15 @@ class FuzzReport:
         return lines
 
 
-def _run_fuzz_task(task: FuzzTask) -> tuple[int, OracleReport]:
+def _run_fuzz_task(task: FuzzTask):
+    tel_before = _tel_before()
     report = run_oracle(
         generate_spec(task.seed),
         metamorphic=task.metamorphic,
         inject=task.inject,
         use_verdict_cache=task.use_verdict_cache,
     )
-    return task.seed, report
+    return task.seed, report, _tel_delta(tel_before)
 
 
 def run_fuzz(
@@ -183,7 +190,7 @@ def run_fuzz(
             if out_of_time():
                 report.budget_exhausted = True
                 break
-            seed, oracle = _run_fuzz_task(task)
+            seed, oracle, _ = _run_fuzz_task(task)
             results[seed] = oracle
     else:
         store = GLOBAL_CACHE.store
@@ -191,7 +198,7 @@ def run_fuzz(
         with ProcessPoolExecutor(
             max_workers=jobs,
             initializer=_worker_init,
-            initargs=(cache_dir, store is not None),
+            initargs=(cache_dir, store is not None, TELEMETRY.enabled),
         ) as pool:
             pending = {pool.submit(_run_fuzz_task, t) for t in tasks}
             try:
@@ -201,8 +208,10 @@ def run_fuzz(
                         return_when=FIRST_COMPLETED,
                     )
                     for future in done:
-                        seed, oracle = future.result()
+                        seed, oracle, tel = future.result()
                         results[seed] = oracle
+                        if tel is not None:
+                            TELEMETRY.merge_snapshot(tel)
                     if out_of_time() and pending:
                         report.budget_exhausted = True
                         break
@@ -247,4 +256,27 @@ def run_fuzz(
                 report.corpus_paths.append(str(path))
 
     report.wall_seconds = time.perf_counter() - start
+    _harvest_fuzz(report)
     return report
+
+
+def _harvest_fuzz(report: FuzzReport) -> None:
+    """Fold fuzz pool statistics into the registry.
+
+    Seed counts depend on the wall-clock budget and verdict-cache
+    locality, so every series here is ``invariant=False``.
+    """
+    if not TELEMETRY.enabled:
+        return
+    TELEMETRY.counter(
+        "repro_pool_tasks_total", {"phase": "fuzz"},
+        help="Sweep tasks completed by phase", invariant=False,
+    ).inc(report.seeds_run)
+    TELEMETRY.counter(
+        "repro_pool_worker_seconds_total", {"phase": "fuzz"},
+        help="Wall-clock seconds spent inside sweep tasks",
+        invariant=False,
+    ).inc(report.wall_seconds)
+    TELEMETRY.gauge(
+        "repro_pool_jobs", help="Worker processes of the last sweep",
+    ).set_max(report.jobs)

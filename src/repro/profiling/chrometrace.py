@@ -30,7 +30,9 @@ from typing import Any
 from repro.profiling.profiler import PipelineProfiler
 
 _MEM_PID = 1_000_000       # synthetic process for memory counters
+_SIM_PID = 1_100_000       # synthetic process for core counters
 _QUEUE_TID_BASE = 100_000  # counter tids live above warp keys
+_SPAN_PID_BASE = 900_000_000  # toolchain span rows live above all sims
 
 _STAGE_COLORS = (
     "thread_state_running",
@@ -154,11 +156,71 @@ def chrome_trace_events(
 
         for index in sorted(profiler.mem_buckets):
             l1, l2, dram = profiler.mem_buckets[index]
+            ts = float(index * TIMELINE_BUCKET)
             out.append({
                 "name": "sectors serviced", "ph": "C", "pid": pid,
-                "tid": 0, "ts": float(index * TIMELINE_BUCKET),
-                "cat": "memory",
+                "tid": 0, "ts": ts, "cat": "memory",
                 "args": {"l1": l1, "l2": l2, "dram": dram},
+            })
+            total = l1 + l2 + dram
+            out.append({
+                "name": "cache hit rate", "ph": "C", "pid": pid,
+                "tid": 1, "ts": ts, "cat": "memory",
+                "args": {
+                    "l1": round(l1 / total, 4) if total else 0.0,
+                    "l1_or_l2": (
+                        round((l1 + l2) / total, 4) if total else 0.0
+                    ),
+                },
+            })
+
+    if profiler.heap_buckets:
+        pid = pid_base + _SIM_PID
+        meta_process(pid, f"{prefix}event core")
+        from repro.profiling.stalls import TIMELINE_BUCKET
+
+        for index in sorted(profiler.heap_buckets):
+            total, samples, peak = profiler.heap_buckets[index]
+            out.append({
+                "name": "wakeup heap depth", "ph": "C", "pid": pid,
+                "tid": 0, "ts": float(index * TIMELINE_BUCKET),
+                "cat": "simcore",
+                "args": {
+                    "mean": (
+                        round(total / samples, 3) if samples else 0.0
+                    ),
+                    "max": peak,
+                },
+            })
+    return out
+
+
+def span_trace_events(recorder: Any) -> list[dict[str, Any]]:
+    """Toolchain spans as one trace process row per subsystem.
+
+    ``recorder`` is a :class:`repro.telemetry.spans.SpanRecorder`;
+    wall-clock seconds map to trace microseconds, re-based to the
+    earliest recorded span so the rows start at ts=0 alongside the
+    simulation sections.
+    """
+    grouped = recorder.by_subsystem()
+    if not grouped:
+        return []
+    t0 = min(s.start_s for spans in grouped.values() for s in spans)
+    out: list[dict[str, Any]] = []
+    for index, subsystem in enumerate(sorted(grouped)):
+        pid = _SPAN_PID_BASE + index
+        out.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"toolchain: {subsystem}"},
+        })
+        for item in grouped[subsystem]:
+            out.append({
+                "name": item.name, "ph": "X", "pid": pid, "tid": 0,
+                "ts": (item.start_s - t0) * 1e6,
+                "dur": item.duration_s * 1e6,
+                "cat": "toolchain",
+                "args": {"subsystem": subsystem},
             })
     return out
 
@@ -166,8 +228,13 @@ def chrome_trace_events(
 def build_chrome_trace(
     sections: list[tuple[str, PipelineProfiler]],
     metadata: dict[str, Any] | None = None,
+    spans: Any = None,
 ) -> dict[str, Any]:
-    """Assemble a complete trace object from labelled profilers."""
+    """Assemble a complete trace object from labelled profilers.
+
+    ``spans`` (a :class:`repro.telemetry.spans.SpanRecorder`) adds the
+    toolchain's compile/verify/predict rows once, above all sections.
+    """
     events: list[dict[str, Any]] = []
     pid_base = 0
     for label, profiler in sections:
@@ -179,6 +246,8 @@ def build_chrome_trace(
             chrome_trace_events(profiler, pid_base=pid_base, label=label)
         )
         pid_base += 2_000_000
+    if spans is not None:
+        events.extend(span_trace_events(spans))
     trace: dict[str, Any] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -196,8 +265,9 @@ def write_chrome_trace(
     path: str,
     sections: list[tuple[str, PipelineProfiler]],
     metadata: dict[str, Any] | None = None,
+    spans: Any = None,
 ) -> dict[str, Any]:
-    trace = build_chrome_trace(sections, metadata)
+    trace = build_chrome_trace(sections, metadata, spans=spans)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trace, handle)
     return trace

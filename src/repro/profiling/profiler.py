@@ -94,6 +94,9 @@ class PipelineProfiler:
         self._queues: dict[tuple[int, int, int], _QueueTracker] = {}
         #: bucket -> [l1 hits, l2 hits, dram accesses]
         self.mem_buckets: dict[int, list] = {}
+        #: bucket -> [depth*span accumulator, samples, max depth] for
+        #: the event core's wakeup heap (empty on the reference core).
+        self.heap_buckets: dict[int, list] = {}
         #: (tb_index, warp_key) -> pipe stage, for trace track naming.
         self.warp_stages: dict[tuple[int, int], int] = {}
 
@@ -182,6 +185,19 @@ class PipelineProfiler:
         if cell is None:
             cell = self.mem_buckets[index] = [0, 0, 0]
         cell[level] += 1
+
+    # -- event-core hooks ------------------------------------------------
+
+    def record_heap_depth(self, ts: float, depth: int) -> None:
+        """Sample the wakeup-heap depth at a processed cycle."""
+        index = int(ts) // TIMELINE_BUCKET
+        cell = self.heap_buckets.get(index)
+        if cell is None:
+            cell = self.heap_buckets[index] = [0.0, 0, 0]
+        cell[0] += depth
+        cell[1] += 1
+        if depth > cell[2]:
+            cell[2] = depth
 
     # -- finalization ----------------------------------------------------
 

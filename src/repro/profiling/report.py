@@ -209,6 +209,7 @@ def sweep_stalls_json(report: Any) -> dict[str, Any]:
         "active_warp_cycles": report.active_warp_cycles,
         "stalls_by_cause": dict(sorted(by_cause.items())),
         "trace_cache": cache_stats_json(report.stats),
+        "pool": report.to_json(),
     }
 
 

@@ -33,6 +33,7 @@ class SectorCache:
         self._stamp = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def access(self, sector: int) -> bool:
         """Touch ``sector``; returns hit/miss and fills on miss."""
@@ -50,6 +51,7 @@ class SectorCache:
         if len(entries) >= self.assoc:
             victim = min(entries, key=entries.get)
             del entries[victim]
+            self.evictions += 1
         entries[sector] = self._stamp
         return False
 
@@ -83,10 +85,19 @@ class BandwidthServer:
         self.total_work = 0.0
         self.first_use: float | None = None
         self.last_use = 0.0
+        # Token-wait telemetry (simulated cycles spent queued behind
+        # earlier work): deterministic, harvested at end of run.
+        self.waits = 0
+        self.wait_cycles = 0.0
 
     def submit(self, now: float, work: float = 1.0) -> float:
         """Occupy the server for ``work / rate`` cycles starting at now."""
-        start = max(now, self._free_at)
+        start = self._free_at
+        if start > now:
+            self.waits += 1
+            self.wait_cycles += start - now
+        else:
+            start = now
         finish = start + work / self.rate
         self._free_at = finish
         self.total_work += work

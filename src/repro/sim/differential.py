@@ -21,6 +21,7 @@ Consumers:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import CompilerError, ReproError, ResourceError
@@ -39,16 +40,50 @@ __all__ = [
 
 @dataclass
 class CoreDiff:
-    """Outcome of one reference-vs-event comparison."""
+    """Outcome of one reference-vs-event comparison.
+
+    Beyond the pass/fail verdict, each diff carries per-core wall
+    time and issue/event counts so ``repro corediff`` doubles as a
+    per-kernel performance comparison of the two cores.
+    """
 
     label: str
     ref_cycles: float = 0.0
     event_cycles: float = 0.0
+    ref_wall_s: float = 0.0
+    event_wall_s: float = 0.0
+    ref_issued: int = 0
+    event_issued: int = 0
+    #: Event-core bookkeeping volume: heap pops + list wakes (0 for
+    #: runs that failed before completing).
+    event_events: int = 0
     mismatches: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
         return not self.mismatches
+
+    @property
+    def speedup(self) -> float:
+        """Reference wall time over event wall time (>1: event wins)."""
+        if self.event_wall_s <= 0:
+            return 0.0
+        return self.ref_wall_s / self.event_wall_s
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "ok": self.ok,
+            "ref_cycles": self.ref_cycles,
+            "event_cycles": self.event_cycles,
+            "ref_wall_s": round(self.ref_wall_s, 6),
+            "event_wall_s": round(self.event_wall_s, 6),
+            "speedup": round(self.speedup, 3),
+            "ref_issued": self.ref_issued,
+            "event_issued": self.event_issued,
+            "event_events": self.event_events,
+            "mismatches": list(self.mismatches),
+        }
 
 
 def differential_gpus(config: GPUConfig | None = None) -> list[GPUConfig]:
@@ -78,18 +113,17 @@ def diff_traces(
     diff = CoreDiff(label=label)
 
     def one(core: str):
-        sim = make_simulator(config, traces, core=core)
-        stats = sim.run()
-        return sim, stats
+        start = time.perf_counter()
+        try:
+            sim = make_simulator(config, traces, core=core)
+            stats = sim.run()
+        except ReproError as exc:
+            outcome = (type(exc).__name__, str(exc)[:200])
+            return None, outcome, time.perf_counter() - start
+        return sim, stats, time.perf_counter() - start
 
-    try:
-        ref_sim, ref = one("reference")
-    except ReproError as exc:
-        ref_sim, ref = None, (type(exc).__name__, str(exc)[:200])
-    try:
-        event_sim, event = one("event")
-    except ReproError as exc:
-        event_sim, event = None, (type(exc).__name__, str(exc)[:200])
+    ref_sim, ref, diff.ref_wall_s = one("reference")
+    event_sim, event, diff.event_wall_s = one("event")
 
     if ref_sim is None or event_sim is None:
         # Both must fail identically (same error, same cycle in the
@@ -102,6 +136,11 @@ def diff_traces(
 
     diff.ref_cycles = ref.cycles
     diff.event_cycles = event.cycles
+    diff.ref_issued = ref.issued_total
+    diff.event_issued = event.issued_total
+    diff.event_events = int(
+        event_sim._heap.pops + getattr(event_sim, "_tel_wakes", 0)
+    )
 
     def cmp(name: str, a, b) -> None:
         if a != b:

@@ -29,12 +29,21 @@ __all__ = ["WakeupHeap"]
 
 
 class WakeupHeap:
-    """Min-heap of sleeping warps keyed by wake time, tie-broken by key."""
+    """Min-heap of sleeping warps keyed by wake time, tie-broken by key.
 
-    __slots__ = ("_items",)
+    Keeps raw telemetry tallies (pushes, pops, peak depth) as plain
+    integer adds; the event core harvests them into the metrics
+    registry at end of run (DESIGN.md §7) so the counters cost a few
+    attribute adds even when telemetry is disabled.
+    """
+
+    __slots__ = ("_items", "pushes", "pops", "max_depth")
 
     def __init__(self) -> None:
         self._items: list[tuple[float, int, Any]] = []
+        self.pushes = 0
+        self.pops = 0
+        self.max_depth = 0
 
     def __len__(self) -> int:
         return len(self._items)
@@ -44,6 +53,9 @@ class WakeupHeap:
 
     def push(self, time: float, warp: "_WarpRun") -> None:
         heapq.heappush(self._items, (time, warp.key, warp))
+        self.pushes += 1
+        if len(self._items) > self.max_depth:
+            self.max_depth = len(self._items)
 
     def next_time(self) -> float:
         """Earliest wake time in the heap (inf when empty)."""
@@ -53,6 +65,7 @@ class WakeupHeap:
 
     def pop(self) -> "_WarpRun":
         """Remove and return the warp with the earliest wake time."""
+        self.pops += 1
         return heapq.heappop(self._items)[2]
 
     def pop_due(self, now: float) -> list["_WarpRun"]:
@@ -65,4 +78,5 @@ class WakeupHeap:
         due: list[Any] = []
         while items and items[0][0] <= now:
             due.append(heapq.heappop(items)[2])
+        self.pops += len(due)
         return due

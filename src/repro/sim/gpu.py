@@ -28,6 +28,7 @@ from repro.sim.occupancy import Occupancy
 from repro.sim.results import TIMELINE_BUCKET, SimResult, SMStats
 from repro.sim.sm import SMSimulator
 from repro.sim.sm_event import EventSMSimulator
+from repro.telemetry.spans import span
 
 __all__ = [
     "SimResult", "make_simulator", "simulate_kernel", "simulate_program",
@@ -74,7 +75,8 @@ def simulate_kernel(
     """Replay traces on the timing model and summarize."""
     sim = make_simulator(config, traces, occupancy=occupancy,
                          profiler=profiler, core=core)
-    stats = sim.run()
+    with span("sim", "replay"):
+        stats = sim.run()
     return _summarize(sim, stats, profiler)
 
 

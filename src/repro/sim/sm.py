@@ -50,6 +50,7 @@ from repro.sim.occupancy import Occupancy, compute_occupancy
 from repro.sim.queues import QueueFile
 from repro.sim.results import SMStats
 from repro.sim.tma import TmaEngine
+from repro.telemetry.registry import TELEMETRY
 
 _TENSOR_FP_UNITS = (FuncUnit.TENSOR, FuncUnit.FP)
 # Pipeline-agnostic arbitration (baseline hardware): plain GTO order
@@ -121,6 +122,10 @@ class _WarpRun:
 class SMSimulator:
     """Simulates one SM executing the thread blocks of one kernel."""
 
+    #: Metric-family prefix for this core's harvested telemetry
+    #: (``repro_<subsystem>_...``); the event core overrides it.
+    _tel_subsystem = "refcore"
+
     def __init__(
         self,
         config: GPUConfig,
@@ -180,6 +185,13 @@ class SMSimulator:
         self._eligible: list[tuple[Any, _WarpRun]] = []
         self._losers: list[tuple[Any, int, _WarpRun]] = []
         self._idle_pbs: list[int] = []
+        # Raw telemetry tallies (plain int adds on the hot path; the
+        # metrics registry sees them only in _harvest_telemetry at end
+        # of run, and only when telemetry is enabled — DESIGN.md §7).
+        self._tel_cycles = 0      # processed (non-skipped) cycles
+        self._tel_polls = 0       # warp issue-scan visits
+        self._tel_jumps = 0       # no-issue clock jumps
+        self._tel_skipped = 0.0   # cycles elided by those jumps
 
     # -- residency ----------------------------------------------------------
 
@@ -348,11 +360,70 @@ class SMSimulator:
                 wake = min(wake, self.tma.next_event_time())
                 if wake == INFINITY:
                     self._raise_deadlock(now)
-                now = max(now + 1.0, math.ceil(wake))
+                target = max(now + 1.0, math.ceil(wake))
+                self._tel_jumps += 1
+                self._tel_skipped += target - now - 1.0
+                now = target
         self.stats.cycles = max(now, self.memory.drain_time())
+        self._tel_cycles = guard
         if prof is not None:
             prof.finalize(self.stats.cycles)
+        self._harvest_telemetry()
         return self.stats
+
+    # -- telemetry harvest ----------------------------------------------
+
+    def _harvest_telemetry(self) -> None:
+        """Fold this run's raw tallies into the global registry.
+
+        Everything harvested here is a deterministic function of the
+        simulated work (simulated-time waits, cache behaviour, issue
+        counts), so the counters are jobs-invariant; wall-clock never
+        enters.  Costs nothing when telemetry is disabled.
+        """
+        if not TELEMETRY.enabled:
+            return
+        sub = self._tel_subsystem
+        counter = TELEMETRY.counter
+        counter(f"repro_{sub}_runs_total",
+                help="Completed SM simulations").inc()
+        counter(f"repro_{sub}_processed_cycles_total",
+                help="Main-loop iterations (non-skipped cycles)"
+                ).inc(self._tel_cycles)
+        counter(f"repro_{sub}_sim_cycles_total",
+                help="Simulated cycles (incl. skipped)"
+                ).inc(self.stats.cycles)
+        counter(f"repro_{sub}_issued_total",
+                help="Instructions issued"
+                ).inc(self.stats.issued_total)
+        counter(f"repro_{sub}_polls_total",
+                help="Warp issue-scan visits"
+                ).inc(self._tel_polls)
+        counter(f"repro_{sub}_jumps_total",
+                help="No-issue clock jumps"
+                ).inc(self._tel_jumps)
+        counter(f"repro_{sub}_skipped_cycles_total",
+                help="Cycles elided by clock jumps"
+                ).inc(self._tel_skipped)
+        for level, cache in (("l1", self.memory.l1),
+                             ("l2", self.memory.l2)):
+            labels = {"level": level}
+            counter("repro_cache_hits_total", labels,
+                    help="Sector-cache hits").inc(cache.hits)
+            counter("repro_cache_misses_total", labels,
+                    help="Sector-cache misses").inc(cache.misses)
+            counter("repro_cache_evictions_total", labels,
+                    help="Sector-cache LRU evictions"
+                    ).inc(cache.evictions)
+        for server in (self.memory.l2_bw, self.memory.dram_bw,
+                       self.memory.smem_bw):
+            labels = {"server": server.name}
+            counter("repro_cache_bw_token_waits_total", labels,
+                    help="Requests that queued behind earlier work"
+                    ).inc(server.waits)
+            counter("repro_cache_bw_wait_cycles_total", labels,
+                    help="Simulated cycles spent queued for bandwidth"
+                    ).inc(server.wait_cycles)
 
     def _rearm_infinite_waits(self, recheck_at: float) -> None:
         for pb_warps in self._pbs:
@@ -396,6 +467,7 @@ class SMSimulator:
         queue_bits = self._queue_bits
         eligible = self._eligible
         eligible.clear()
+        self._tel_polls += len(self._pbs[pb_index])
         for warp in self._pbs[pb_index]:
             if warp.done or warp.wake_at > now:
                 wake = min(wake, warp.wake_at if not warp.done else INFINITY)

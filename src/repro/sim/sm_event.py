@@ -66,7 +66,7 @@ loop as the escape hatch and differential pair.
 from __future__ import annotations
 
 import math
-from bisect import insort
+from bisect import bisect_left, insort
 from operator import attrgetter
 
 from repro.errors import SimulationError
@@ -77,6 +77,9 @@ from repro.sim.barriers import INFINITY
 from repro.sim.events import WakeupHeap
 from repro.sim.results import SMStats
 from repro.sim.sm import _GTO_KEY, SMSimulator, _ResidentTB, _WarpRun
+from repro.telemetry.registry import (
+    CYCLES_BUCKETS, DEPTH_BUCKETS, TELEMETRY,
+)
 
 __all__ = ["EventSMSimulator"]
 
@@ -87,6 +90,8 @@ _AFTER_ALL = 1 << 30
 
 class EventSMSimulator(SMSimulator):
     """Drop-in replacement for :class:`SMSimulator` (same results)."""
+
+    _tel_subsystem = "eventcore"
 
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
@@ -107,6 +112,15 @@ class EventSMSimulator(SMSimulator):
         self._scan_pb = -1
         self._scan_pos = _AFTER_ALL
         self._now = 0.0
+        # Raw telemetry tallies: warp wake/sleep traffic and the
+        # skipped-cycle span distribution (fixed buckets so the jump
+        # branch does one bisect into a 13-bound tuple, no allocation).
+        self._tel_wakes = 0
+        self._tel_buffered = 0
+        self._tel_reg_queue_empty = 0
+        self._tel_reg_queue_full = 0
+        self._tel_reg_barrier = 0
+        self._tel_skip_counts = [0] * (len(CYCLES_BUCKETS) + 1)
 
     # -- residency ------------------------------------------------------
 
@@ -159,6 +173,7 @@ class EventSMSimulator(SMSimulator):
         can unblock every registered waiter just fired."""
         drained = waiters[:]
         waiters.clear()
+        self._tel_wakes += len(drained)
         immediate = self._inf_pollable
         scan_pb = self._scan_pb
         scan_pos = self._scan_pos
@@ -195,24 +210,28 @@ class EventSMSimulator(SMSimulator):
             if chan.head_ready_time() is None:
                 chan.wake_hook = hook
                 chan.empty_waiters.append(warp)
+                self._tel_reg_queue_empty += 1
                 return
         if instr.queue_push is not None:
             chan = warp.tb.queues.channel(instr.queue_push, warp.slice_id)
             if not chan.can_push():
                 chan.wake_hook = hook
                 chan.full_waiters.append(warp)
+                self._tel_reg_queue_full += 1
                 return
         if instr.opcode is Opcode.BAR_WAIT:
             barrier = warp.tb.barriers.arrive_wait(instr.barrier_id)
             if barrier.wait_pass_time(warp.key) == INFINITY:
                 barrier.wake_hook = hook
                 barrier.waiters.append(warp)
+                self._tel_reg_barrier += 1
                 return
         if instr.opcode is Opcode.BAR_SYNC:
             barrier = warp.tb.barriers.sync(instr.barrier_id)
             if barrier.pass_time(warp.key) == INFINITY:
                 barrier.wake_hook = hook
                 barrier.waiters.append(warp)
+                self._tel_reg_barrier += 1
                 return
         # No modelled condition is infinite right now (cannot happen
         # today: registration is synchronous with the failed poll).
@@ -284,7 +303,10 @@ class EventSMSimulator(SMSimulator):
             tma.advance(now)
             for warp in heap.pop_due(now):
                 self._enter_awake(warp)
+            if prof is not None:
+                prof.record_heap_depth(now, len(heap))
             if self._buffer:
+                self._tel_buffered += len(self._buffer)
                 for warp in self._buffer:
                     self._enter_awake(warp)
                 self._buffer.clear()
@@ -335,11 +357,58 @@ class EventSMSimulator(SMSimulator):
                 wake = min(wake, heap.next_time(), tma.next_event_time())
                 if wake == INFINITY:
                     self._raise_deadlock(now)
-                now = max(now + 1.0, math.ceil(wake))
+                target = max(now + 1.0, math.ceil(wake))
+                skipped = target - now - 1.0
+                self._tel_jumps += 1
+                self._tel_skipped += skipped
+                self._tel_skip_counts[
+                    bisect_left(CYCLES_BUCKETS, skipped)
+                ] += 1
+                now = target
         self.stats.cycles = max(now, self.memory.drain_time())
+        self._tel_cycles = guard
         if prof is not None:
             prof.finalize(self.stats.cycles)
+        self._harvest_telemetry()
         return self.stats
+
+    def _harvest_telemetry(self) -> None:
+        super()._harvest_telemetry()
+        if not TELEMETRY.enabled:
+            return
+        heap = self._heap
+        counter = TELEMETRY.counter
+        counter("repro_eventcore_heap_pushes_total",
+                help="Warps put to sleep on the wakeup heap"
+                ).inc(heap.pushes)
+        counter("repro_eventcore_heap_pops_total",
+                help="Timed warp wakeups popped from the heap"
+                ).inc(heap.pops)
+        TELEMETRY.histogram(
+            "repro_eventcore_heap_max_depth",
+            bounds=DEPTH_BUCKETS,
+            help="Peak wakeup-heap depth per simulation",
+        ).observe(float(heap.max_depth))
+        for kind, count in (
+            ("heap_wake", heap.pops),
+            ("notify_wake", self._tel_wakes),
+            ("buffered_wake", self._tel_buffered),
+            ("sleep_heap", heap.pushes),
+            ("sleep_queue_empty", self._tel_reg_queue_empty),
+            ("sleep_queue_full", self._tel_reg_queue_full),
+            ("sleep_barrier", self._tel_reg_barrier),
+        ):
+            counter("repro_eventcore_events_total", {"type": kind},
+                    help="Warp sleep/wake events by type").inc(count)
+        skip = TELEMETRY.histogram(
+            "repro_eventcore_skip_span_cycles",
+            bounds=CYCLES_BUCKETS,
+            help="Simulated cycles elided per clock jump",
+        )
+        for index, count in enumerate(self._tel_skip_counts):
+            skip.counts[index] += count
+        skip.sum += self._tel_skipped
+        skip.count += self._tel_jumps
 
     def _scan_issue(
         self, pb_index: int, now: float, losers: list,
@@ -403,6 +472,7 @@ class EventSMSimulator(SMSimulator):
             if best is None or key < best_key:
                 best, best_key = warp, key
         self._awake[pb_index] = keep
+        self._tel_polls += index
         # Winner execution: events become visible to later blocks this
         # cycle, to this block (and earlier ones) next cycle.
         self._scan_pos = _AFTER_ALL

@@ -1,0 +1,54 @@
+"""Unified telemetry: metrics registry, toolchain spans, dashboards.
+
+The package has three layers:
+
+* :mod:`repro.telemetry.registry` — process-global
+  :class:`MetricsRegistry` holding counters, gauges, and fixed-bucket
+  exponential histograms.  Disabled by default; hot paths keep raw
+  Python ints and *harvest* into the registry at end-of-run so the
+  disabled cost is a handful of integer adds (see DESIGN.md §7).
+* :mod:`repro.telemetry.spans` — wall-clock span recording for the
+  compile → lint → predict → simulate toolchain, exportable as extra
+  process rows in the Chrome trace_event document.
+* :mod:`repro.telemetry.snapshot` / :mod:`repro.telemetry.trajectory`
+  — the ``repro-metrics-v1`` JSON snapshot + Prometheus text
+  exposition, and the ``repro bench report`` perf-trajectory
+  dashboard over committed ``BENCH_*.json`` files.
+"""
+
+from repro.telemetry.registry import (
+    TELEMETRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    MetricsSnapshot,
+    exponential_buckets,
+)
+from repro.telemetry.spans import SPANS, Span, SpanRecorder, span
+from repro.telemetry.snapshot import (
+    METRICS_SCHEMA,
+    build_metrics_document,
+    render_prometheus,
+    parse_prometheus,
+    validate_metrics_document,
+)
+
+__all__ = [
+    "TELEMETRY",
+    "SPANS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "METRICS_SCHEMA",
+    "Span",
+    "SpanRecorder",
+    "build_metrics_document",
+    "exponential_buckets",
+    "parse_prometheus",
+    "render_prometheus",
+    "span",
+    "validate_metrics_document",
+]

@@ -1,0 +1,323 @@
+"""``repro-metrics-v1`` JSON snapshot + Prometheus text exposition.
+
+One metrics document is emitted by ``repro metrics`` and by the
+``--metrics-out`` flag on ``run``/``profile``/``fuzz``/``corediff``/
+``advise``.  The JSON layout is versioned (CI's metrics-smoke job
+validates it with :func:`validate_metrics_document`); the Prometheus
+rendering follows the text exposition format 0.0.4 so the snapshot
+can be scraped or pushed as-is.
+
+Run as a module to validate files (used by CI)::
+
+    python -m repro.telemetry.snapshot metrics.json [metrics.prom]
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+from typing import Any, Iterable
+
+from repro.telemetry.registry import MetricsSnapshot
+from repro.telemetry.spans import SPANS, SpanRecorder
+
+__all__ = [
+    "METRICS_SCHEMA",
+    "REQUIRED_FAMILIES",
+    "build_metrics_document",
+    "missing_families",
+    "parse_prometheus",
+    "render_prometheus",
+    "validate_metrics_document",
+    "write_metrics_outputs",
+]
+
+METRICS_SCHEMA = "repro-metrics-v1"
+
+#: Metric-family prefixes `repro metrics` must cover (ISSUE 7
+#: acceptance): event core, caches, process pool, pass timings.
+REQUIRED_FAMILIES = (
+    "repro_eventcore_",
+    "repro_cache_",
+    "repro_pool_",
+    "repro_pass_",
+)
+
+_NAME_RE = re.compile(r"^repro_[a-z][a-z0-9_]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def build_metrics_document(
+    snapshot: MetricsSnapshot,
+    command: str = "",
+    spans: SpanRecorder | None = None,
+) -> dict[str, Any]:
+    """The versioned JSON document for ``--metrics-out``."""
+    recorder = SPANS if spans is None else spans
+    items = recorder.spans()
+    return {
+        "schema": METRICS_SCHEMA,
+        "command": command,
+        "metrics": snapshot.to_list(),
+        "spans": {
+            "count": len(items),
+            "dropped": recorder.dropped,
+            "subsystems": sorted({s.subsystem for s in items}),
+        },
+    }
+
+
+def validate_metrics_document(doc: Any) -> list[str]:
+    """Schema check; returns human-readable problems (empty = ok)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    if doc.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            f"schema is {doc.get('schema')!r}, want {METRICS_SCHEMA!r}"
+        )
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, list):
+        return problems + ["metrics is not a list"]
+    seen: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+    for i, entry in enumerate(metrics):
+        where = f"metrics[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        name = entry.get("name", "")
+        if not isinstance(name, str) or not _NAME_RE.match(name):
+            problems.append(f"{where}: bad name {name!r}")
+            continue
+        kind = entry.get("kind")
+        if kind not in ("counter", "gauge", "histogram"):
+            problems.append(f"{name}: bad kind {kind!r}")
+            continue
+        labels = entry.get("labels", {})
+        if not isinstance(labels, dict) or not all(
+            isinstance(k, str) and _LABEL_RE.match(k)
+            and isinstance(v, str) for k, v in labels.items()
+        ):
+            problems.append(f"{name}: bad labels {labels!r}")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen:
+            problems.append(f"{name}: duplicate series {labels}")
+        seen.add(key)
+        if not isinstance(entry.get("invariant"), bool):
+            problems.append(f"{name}: missing invariant flag")
+        if kind in ("counter", "gauge"):
+            if not isinstance(entry.get("value"), (int, float)):
+                problems.append(f"{name}: non-numeric value")
+        else:
+            bounds = entry.get("bounds")
+            counts = entry.get("counts")
+            if (not isinstance(bounds, list)
+                    or not isinstance(counts, list)
+                    or len(counts) != len(bounds) + 1):
+                problems.append(f"{name}: bounds/counts mismatch")
+                continue
+            if bounds != sorted(set(bounds)):
+                problems.append(f"{name}: bounds not increasing")
+            if entry.get("count") != sum(counts):
+                problems.append(
+                    f"{name}: count != sum of bucket counts"
+                )
+    return problems
+
+
+def missing_families(
+    doc: dict[str, Any],
+    families: Iterable[str] = REQUIRED_FAMILIES,
+) -> list[str]:
+    """Required family prefixes with no metric in the document."""
+    names = {
+        entry.get("name", "")
+        for entry in doc.get("metrics", [])
+        if isinstance(entry, dict)
+    }
+    return [
+        prefix for prefix in families
+        if not any(n.startswith(prefix) for n in names)
+    ]
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _format_labels(labels: dict[str, str],
+                   extra: tuple[str, str] | None = None) -> str:
+    pairs = sorted(labels.items())
+    if extra is not None:
+        pairs = pairs + [extra]
+    if not pairs:
+        return ""
+    body = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in pairs
+    )
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(doc: dict[str, Any]) -> str:
+    """Text exposition format 0.0.4 for the JSON document."""
+    by_name: dict[str, list[dict[str, Any]]] = {}
+    for entry in doc.get("metrics", []):
+        by_name.setdefault(entry["name"], []).append(entry)
+    lines: list[str] = []
+    for name in sorted(by_name):
+        entries = by_name[name]
+        kind = entries[0]["kind"]
+        help_text = next(
+            (e["help"] for e in entries if e.get("help")), ""
+        )
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for entry in entries:
+            labels = entry.get("labels", {})
+            if kind in ("counter", "gauge"):
+                lines.append(
+                    f"{name}{_format_labels(labels)} "
+                    f"{_format_value(entry['value'])}"
+                )
+                continue
+            cumulative = 0
+            for bound, count in zip(
+                list(entry["bounds"]) + [float("inf")],
+                entry["counts"],
+            ):
+                cumulative += count
+                le = _format_labels(
+                    labels, ("le", _format_value(float(bound)))
+                )
+                lines.append(f"{name}_bucket{le} {cumulative}")
+            suffix = _format_labels(labels)
+            lines.append(
+                f"{name}_sum{suffix} {_format_value(entry['sum'])}"
+            )
+            lines.append(f"{name}_count{suffix} {cumulative}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?\s+"
+    r"(?P<value>[-+]?(?:\d+\.?\d*(?:[eE][-+]?\d+)?|Inf|NaN))$"
+)
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def parse_prometheus(text: str) -> dict[str, dict[str, Any]]:
+    """Strict-enough parser of the exposition text.
+
+    Returns ``{metric_name: {"kind": ..., "samples": N}}`` and raises
+    :class:`ValueError` on any malformed line — CI's metrics-smoke
+    job uses this as the exposition-format check.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    declared: dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[3] not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                raise ValueError(f"line {lineno}: bad TYPE: {raw!r}")
+            declared[parts[2]] = parts[3]
+            families.setdefault(
+                parts[2], {"kind": parts[3], "samples": 0}
+            )
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: bad sample: {raw!r}")
+        labels = match.group("labels")
+        if labels:
+            body = labels[1:-1]
+            if body and _LABEL_PAIR_RE.sub("", body).strip(", "):
+                raise ValueError(
+                    f"line {lineno}: bad labels: {raw!r}"
+                )
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if (name.endswith(suffix)
+                    and name[: -len(suffix)] in declared):
+                base = name[: -len(suffix)]
+                break
+        if base not in declared:
+            raise ValueError(
+                f"line {lineno}: sample before TYPE: {raw!r}"
+            )
+        families[base]["samples"] += 1
+    return families
+
+
+def write_metrics_outputs(
+    doc: dict[str, Any],
+    json_path: str | None,
+    prom_path: str | None = None,
+) -> None:
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    if prom_path:
+        with open(prom_path, "w", encoding="utf-8") as handle:
+            handle.write(render_prometheus(doc))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Validate a metrics JSON (and optionally a .prom) file."""
+    args = sys.argv[1:] if argv is None else argv
+    if not args:
+        print("usage: python -m repro.telemetry.snapshot "
+              "METRICS.json [METRICS.prom]")
+        return 2
+    with open(args[0], "r", encoding="utf-8") as handle:
+        doc = json.load(handle)
+    problems = validate_metrics_document(doc)
+    problems += [
+        f"missing required metric family {prefix}*"
+        for prefix in missing_families(doc)
+    ]
+    if len(args) > 1:
+        with open(args[1], "r", encoding="utf-8") as handle:
+            try:
+                families = parse_prometheus(handle.read())
+            except ValueError as exc:
+                problems.append(f"prometheus: {exc}")
+            else:
+                print(f"prometheus: {len(families)} families parsed")
+    if problems:
+        for line in problems:
+            print(f"INVALID: {line}")
+        return 1
+    print(f"{args[0]}: valid {METRICS_SCHEMA} document "
+          f"({len(doc['metrics'])} series)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

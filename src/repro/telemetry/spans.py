@@ -1,0 +1,106 @@
+"""Span-based wall-clock tracing for the toolchain.
+
+A span is one timed pass — compile, verify, predict, functional
+execution, simulator replay, cache I/O — attributed to a
+*subsystem*.  Spans serve two consumers:
+
+* the global :data:`~repro.telemetry.registry.TELEMETRY` registry,
+  which receives a ``repro_pass_seconds`` histogram observation per
+  span (``invariant=False``: wall time is machine-dependent), and
+* the Chrome trace_event export, where each subsystem becomes one
+  process row (``repro.profiling.chrometrace.span_trace_events``).
+
+Recording is bounded (a ring buffer) and cheap (two
+``perf_counter`` calls per span), so the recorder is always on for
+the cold toolchain paths; only the registry observation is gated on
+``TELEMETRY.enabled``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.telemetry.registry import SECONDS_BUCKETS, TELEMETRY
+
+__all__ = ["SPANS", "Span", "SpanRecorder", "span"]
+
+#: Ring-buffer capacity; long fuzz runs keep only the newest spans.
+_MAX_SPANS = 4096
+
+
+@dataclass(frozen=True)
+class Span:
+    """One completed timed region (wall-clock seconds)."""
+
+    subsystem: str
+    name: str
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+class SpanRecorder:
+    """Bounded recorder of completed spans, grouped by subsystem."""
+
+    def __init__(self, maxlen: int = _MAX_SPANS) -> None:
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=maxlen)
+        self.dropped = 0
+
+    @contextmanager
+    def span(self, subsystem: str, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            end = time.perf_counter()
+            self.record(Span(subsystem, name, start, end))
+
+    def record(self, item: Span) -> None:
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(item)
+        if TELEMETRY.enabled:
+            TELEMETRY.histogram(
+                "repro_pass_seconds",
+                {"subsystem": item.subsystem, "pass": item.name},
+                bounds=SECONDS_BUCKETS,
+                help="Wall-clock time per toolchain pass",
+                invariant=False,
+            ).observe(item.duration_s)
+
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def by_subsystem(self) -> dict[str, list[Span]]:
+        grouped: dict[str, list[Span]] = {}
+        for item in self.spans():
+            grouped.setdefault(item.subsystem, []).append(item)
+        return grouped
+
+
+#: Process-global recorder used by the compiler/verifier/perf-model
+#: entry points.  Worker processes keep their own (spans are a
+#: per-process wall-clock artifact, not part of jobs-invariance).
+SPANS = SpanRecorder()
+
+
+def span(subsystem: str, name: str):
+    """``with span("compiler", "build_pdg"): ...`` on the global
+    recorder."""
+    return SPANS.span(subsystem, name)
