@@ -304,12 +304,14 @@ def check_telemetry_overhead(
     baseline: dict[str, Any],
     tolerance: float = 0.02,
 ) -> list[str]:
-    """The telemetry-disabled overhead gate (ISSUE 7 acceptance).
+    """The disabled-feature overhead gate (ISSUE 7/8 acceptance).
 
-    The harness always measures with the registry disabled (its
-    default state), so the *aggregate* normalized wall-clock of the
-    suite vs the committed baseline bounds what the telemetry code
-    paths cost when off.  The aggregate sum is used rather than
+    The harness always measures with the telemetry registry *and* the
+    SMEM sanitizer disabled (their default states), so the *aggregate*
+    normalized wall-clock of the suite vs the committed baseline
+    bounds what both opt-in code paths cost when off — the telemetry
+    counters and the sanitizer's None-guarded hooks in the functional
+    machine's hot loops.  The aggregate sum is used rather than
     per-benchmark values because a 2%% bar is inside single-benchmark
     noise even after calibration normalization; summing the suite
     averages that noise away.

@@ -96,6 +96,15 @@ RULES: dict[str, tuple[Severity, str]] = {
     "WASP-S003": (Severity.INFO,
                   "SMEM access with a statically unresolvable target "
                   "buffer (race analysis is incomplete here)"),
+    "WASP-S004": (Severity.ERROR,
+                  "circular-buffer phase overlap: a write from one "
+                  "generation can land on a phase while another "
+                  "stage's access to the same phase is still "
+                  "unordered"),
+    "WASP-S005": (Severity.ERROR,
+                  "credit-underflow race: queue credit admits more "
+                  "generations in flight than the shared buffer has "
+                  "phases"),
     # -- resources ---------------------------------------------------------
     "WASP-R001": (Severity.ERROR,
                   "per-stage register footprint exceeds the SM register "
@@ -215,6 +224,19 @@ class DiagnosticReport:
     def by_severity(self, severity: Severity) -> list[Diagnostic]:
         return [d for d in self.diagnostics if d.severity is severity]
 
+    def normalized(self) -> "DiagnosticReport":
+        """Deterministically ordered and deduplicated copy.
+
+        Sort key is (rule, site, message) — site meaning kernel, then
+        stage, then block, then instruction — so reports from
+        repeated runs and from differently-ordered passes compare
+        equal; byte-identical findings reported by more than one pass
+        collapse to one.
+        """
+        unique = list(dict.fromkeys(self.diagnostics))
+        unique.sort(key=_diagnostic_sort_key)
+        return DiagnosticReport(unique)
+
     @property
     def errors(self) -> list[Diagnostic]:
         return self.by_severity(Severity.ERROR)
@@ -258,3 +280,16 @@ class DiagnosticReport:
         if not self.diagnostics:
             return "verifier: clean"
         return "\n".join(d.format() for d in self.diagnostics)
+
+
+def _diagnostic_sort_key(
+    diag: Diagnostic,
+) -> tuple[str, str, int, str, str, str]:
+    return (
+        diag.rule,
+        diag.kernel or "",
+        -1 if diag.stage is None else diag.stage,
+        diag.block or "",
+        diag.instruction or "",
+        diag.message,
+    )

@@ -1,0 +1,180 @@
+"""Sanitizer-vs-static race differential (``repro racediff``).
+
+The trust chain for the happens-before engine mirrors the one
+``repro corediff`` builds for the event-driven core: run the same
+program through two independent implementations and require agreement.
+Here the two implementations are
+
+* the **static** engine (:mod:`repro.analysis.dataflow.hb`), which
+  classifies every cross-stage SMEM access pair from the event graph
+  alone, and
+* the **dynamic** vector-clock sanitizer
+  (:mod:`repro.fexec.sanitizer`), which observes one concrete
+  execution with real addresses.
+
+The checked direction is *no static false negatives*: every race the
+sanitizer observes must be statically flagged — either as a WASP-S
+race on the same buffer group and stage pair, or excused because the
+static pass already reported it could not resolve an access in one of
+the stages involved (WASP-S003).  The static engine is allowed to be
+more conservative than one execution (races need not manifest
+dynamically), so the reverse direction is not checked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.analysis.dataflow.hb import HBAnalysis, analyze_program
+from repro.errors import ReproError
+from repro.fexec.machine import run_kernel
+from repro.fexec.sanitizer import SanitizerRace
+
+RACEDIFF_SCHEMA = "repro-racediff-report-v1"
+
+
+def _canon_group(group: str) -> str:
+    """Collapse a double-buffer copy onto its base buffer group."""
+    return group[:-4] if group.endswith("__db") else group
+
+
+@dataclass
+class RaceDiff:
+    """Static-vs-sanitizer agreement for one program variant."""
+
+    label: str
+    num_static: int = 0
+    num_dynamic: int = 0
+    excused_stages: tuple[int, ...] = ()
+    missing: list[str] = field(default_factory=list)
+    skipped: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "num_static": self.num_static,
+            "num_dynamic": self.num_dynamic,
+            "excused_stages": list(self.excused_stages),
+            "missing": list(self.missing),
+            "skipped": self.skipped,
+            "ok": self.ok,
+        }
+
+
+def diff_races(
+    label: str,
+    program: Any,
+    image: Any,
+    launch: Any,
+    analysis: HBAnalysis | None = None,
+) -> RaceDiff:
+    """Compare sanitizer-observed races against the static verdicts."""
+    if analysis is None:
+        analysis = analyze_program(program)
+    static_pairs = {
+        (_canon_group(group), pair)
+        for group, pair in analysis.racy_stage_pairs()
+    }
+    excused = tuple(sorted(
+        {stage for _, stage in analysis.skipped_stage_groups()}
+    ))
+    diff = RaceDiff(
+        label=label,
+        num_static=len(static_pairs),
+        excused_stages=excused,
+    )
+    try:
+        result = run_kernel(
+            program, image, launch, collect_trace=False, sanitize=True
+        )
+    except ReproError as exc:
+        # Deadlocks and runtime faults are the fuzz oracle's domain;
+        # without a completed execution there is nothing to compare.
+        diff.skipped = f"{type(exc).__name__}: {exc}"
+        return diff
+    diff.num_dynamic = len(result.races)
+    for race in result.races:
+        if _is_covered(race, static_pairs, excused):
+            continue
+        diff.missing.append(race.format())
+    return diff
+
+
+def _is_covered(
+    race: SanitizerRace,
+    static_pairs: set[tuple[str, frozenset[int]]],
+    excused_stages: tuple[int, ...],
+) -> bool:
+    if (_canon_group(race.group), race.stage_pair) in static_pairs:
+        return True
+    # S003: the static pass declared an access in this stage
+    # unresolvable, so races involving it are already surfaced.
+    return (
+        race.first_stage in excused_stages
+        or race.second_stage in excused_stages
+    )
+
+
+def racediff_spec(spec: Any) -> list[RaceDiff]:
+    """Race differential for every specializing OPTION_SETS variant of
+    one fuzz spec."""
+    from repro.core.compiler import WaspCompiler
+    from repro.errors import CompilerError
+    from repro.fuzz.generator import build_kernel
+    from repro.fuzz.oracle import OPTION_SETS
+
+    kernel = build_kernel(spec)
+    diffs: list[RaceDiff] = []
+    for name, options in OPTION_SETS:
+        try:
+            compiled = WaspCompiler(options).compile(
+                kernel.program, num_warps=kernel.launch.num_warps
+            )
+        except (CompilerError, ReproError):
+            continue
+        if not compiled.specialized:
+            continue
+        launch = replace(
+            kernel.launch,
+            num_warps=kernel.launch.num_warps * compiled.num_stages,
+        )
+        diffs.append(diff_races(
+            f"seed{spec.seed}:{name}",
+            compiled.program,
+            kernel.image_factory(),
+            launch,
+        ))
+    return diffs
+
+
+def racediff_registry_kernel(kernel: Any, eval_config: Any) -> list[RaceDiff]:
+    """Race differential for one registry kernel under one sweep config."""
+    from repro.errors import CompilerError, ResourceError
+    from repro.experiments.runner import WaspCompiler, _compiler_options_for
+
+    options = _compiler_options_for(kernel, eval_config)
+    if options is None:
+        return []
+    try:
+        compiled = WaspCompiler(options).compile(
+            kernel.program, num_warps=kernel.launch.num_warps
+        )
+    except (CompilerError, ResourceError):
+        return []
+    if not compiled.specialized:
+        return []
+    launch = replace(
+        kernel.launch,
+        num_warps=kernel.launch.num_warps * compiled.num_stages,
+    )
+    return [diff_races(
+        f"{kernel.name}:{eval_config.name}",
+        compiled.program,
+        kernel.image_factory(),
+        launch,
+    )]

@@ -21,6 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analysis.cfg import DISPATCH, ProgramView
+from repro.analysis.dataflow.framework import (
+    DataflowProblem,
+    MeetSetLattice,
+    solve,
+)
 from repro.analysis.diagnostics import Diagnostic
 from repro.core.specs import ThreadBlockSpec
 from repro.isa.operands import Operand
@@ -181,14 +186,20 @@ def _check_register_budgets(
 def _check_use_before_def(
     view: ProgramView, stage: int
 ) -> list[Diagnostic]:
-    """Definite-assignment dataflow over one stage section's sub-CFG."""
+    """Definite-assignment dataflow over one stage section's sub-CFG.
+
+    An instance of the generic worklist framework
+    (:mod:`repro.analysis.dataflow.framework`): facts are the set of
+    definitely-assigned operands, joined by intersection over
+    predecessor edges (``None`` = not-yet-visited, optimistic), each
+    edge transferring its source block's definitions.
+    """
     section = view.sections[stage]
     labels = section.labels & view.reachable
     if not labels:
         return []
     blocks = [b for b in section.blocks if b.label in labels]
     order = {b.label: i for i, b in enumerate(blocks)}
-    block_by_label = {b.label: b for b in blocks}
 
     # Dispatch-section definitions (the jump table's predicate) reach
     # every stage entry; for the dispatch section itself start empty.
@@ -200,59 +211,62 @@ def _check_use_before_def(
                 inherited.update(instr.defined_predicates())
 
     preds: dict[str, list[str]] = {label: [] for label in labels}
+    succs: dict[str, tuple[str, ...]] = {}
     for label in labels:
-        for succ in view.successors.get(label, ()):
-            if succ in labels:
-                preds[succ].append(label)
+        succs[label] = tuple(
+            s for s in view.successors.get(label, ()) if s in labels
+        )
+        for succ in succs[label]:
+            preds.setdefault(succ, [])
+    for label in labels:
+        for succ in succs[label]:
+            preds[succ].append(label)
 
+    block_defs: dict[str, frozenset[Operand]] = {}
     ever_defined: set[Operand] = set(inherited)
     for block in blocks:
+        defs: set[Operand] = set()
         for instr in block.instructions:
-            ever_defined.update(instr.defined_registers())
-            ever_defined.update(instr.defined_predicates())
+            defs.update(instr.defined_registers())
+            defs.update(instr.defined_predicates())
+        block_defs[block.label] = frozenset(defs)
+        ever_defined.update(defs)
 
-    # Forward "definitely assigned" fixpoint: IN = intersection of
-    # predecessor OUTs; unvisited predecessors are optimistic (top).
-    out_sets: dict[str, set[Operand] | None] = {
-        label: None for label in labels
-    }
+    lattice: MeetSetLattice[Operand] = MeetSetLattice()
 
-    def visited_outs(label: str) -> list[set[Operand]]:
-        outs: list[set[Operand]] = []
-        for pred in preds[label]:
-            out = out_sets[pred]
-            if out is not None:
-                outs.append(out)
-        return outs
+    def transfer(
+        src: str, dst: str, value: frozenset[Operand] | None
+    ) -> frozenset[Operand] | None:
+        if value is None:
+            return None
+        return value | block_defs[src]
 
-    worklist = [b.label for b in blocks]
-    while worklist:
-        label = worklist.pop(0)
-        pred_outs = visited_outs(label)
-        if preds[label] and pred_outs:
-            in_set = set.intersection(*pred_outs)
-        elif preds[label]:
-            in_set = set(ever_defined)  # all preds unvisited: optimistic
-        else:
-            in_set = set(inherited)
-        current = set(in_set)
-        for instr in block_by_label[label].instructions:
-            current.update(instr.defined_registers())
-            current.update(instr.defined_predicates())
-        if out_sets[label] is None or out_sets[label] != current:
-            out_sets[label] = current
-            for succ in view.successors.get(label, ()):
-                if succ in labels and succ not in worklist:
-                    worklist.append(succ)
+    problem: DataflowProblem[str, frozenset[Operand] | None]
+    problem = DataflowProblem(
+        nodes=tuple(b.label for b in blocks),
+        successors=succs,
+        bottom=lattice.bottom,
+        join=lattice.join,
+        leq=lattice.leq,
+        transfer=transfer,
+        initial={
+            label: frozenset(inherited)
+            for label in (b.label for b in blocks)
+            if not preds[label]
+        },
+    )
+    in_sets = solve(problem)
 
     diags: list[Diagnostic] = []
     reported: set[Operand] = set()
     for block in sorted(blocks, key=lambda b: order[b.label]):
-        pred_outs = visited_outs(block.label)
-        if preds[block.label] and pred_outs:
-            current = set.intersection(*pred_outs)
-        else:
+        solved = in_sets[block.label]
+        if not preds[block.label]:
             current = set(inherited)
+        elif solved is None:
+            current = set(ever_defined)  # section-internal dead cycle
+        else:
+            current = set(solved)
         for instr in block.instructions:
             uses: list[Operand] = list(instr.used_registers())
             uses.extend(instr.used_predicates())

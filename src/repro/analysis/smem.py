@@ -1,40 +1,44 @@
-"""Shared-memory race detector (rules WASP-S001..S003, double-buffer
-aware).
+"""Shared-memory race detector (rules WASP-S001..S005, HB-backed).
 
-Groups every STS/LDS/LDGSTS/TMA.TILE access by its target buffer (the
-builder's ``smem_buffer`` tag, or the declared buffer containing an
-immediate address) and demands ordering evidence between any two stages
-that touch the same buffer with at least one write:
+Bounds (S002) and unresolvable-target reporting (S003) are unchanged
+from the original pass.  Race detection is now exact up to the
+happens-before model (:mod:`repro.analysis.dataflow.hb`): every
+cross-stage access pair on a shared buffer group is classified as
+ordered, phase-disjoint, or racy from the min-plus iteration-shift
+fixpoint, instead of the old "some arrive/wait pair crosses the two
+stages" heuristic.  Racy pairs are attributed to:
 
-* a full thread-block ``BAR.SYNC`` both stages execute, or
-* an arrive/wait barrier pair crossing the two stages in the
-  write->read direction (the tile protocol's ``<key>_filled``), and —
-  when the writer writes inside a loop, i.e. across generations — the
-  read->write direction as well (``<key>_empty``, which double
-  buffering routes through the partner copy's section).
-
-Missing write->read ordering is an error; missing reverse (WAR)
-ordering across generations is a warning, because a sufficiently deep
-buffer can legally tolerate it.  Accesses whose target cannot be
-resolved statically are reported once per stage at info severity
-(``WASP-S003``) and excluded — a deliberate false-negative gap.
+* ``WASP-S001`` — the same generation is unordered (shift 0): the
+  classic missing filled-style barrier;
+* ``WASP-S004`` — same-generation accesses are ordered but a later
+  generation's write can lap an outstanding access on the same
+  circular-buffer phase (phase-overlap);
+* ``WASP-S005`` — the pair is ordered only under tighter queue
+  back-pressure: the configured queue capacity admits more
+  generations in flight than the buffer has phases
+  (credit-underflow).
 """
 
 from __future__ import annotations
 
-from repro.analysis.cfg import ProgramView, section_loops
-from repro.analysis.diagnostics import Diagnostic, Severity
-from repro.analysis.sites import PipelineSites, SmemAccess
+from repro.analysis.cfg import ProgramView
+from repro.analysis.dataflow.hb import HBAnalysis, PairVerdict, analyze_hb
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.sites import PipelineSites
+from repro.core.specs import ThreadBlockSpec
 
 
 def check_smem(
     view: ProgramView,
     sites: PipelineSites,
+    spec: ThreadBlockSpec | None = None,
 ) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
     diags.extend(_check_bounds(view, sites))
     if len(view.stages) > 1:
-        diags.extend(_check_races(view, sites))
+        analysis = analyze_hb(view, sites, spec)
+        diags.extend(_report_unresolved(view, analysis))
+        diags.extend(_report_races(view, analysis))
     return diags
 
 
@@ -60,106 +64,97 @@ def _check_bounds(
     return diags
 
 
-def _check_races(
-    view: ProgramView, sites: PipelineSites
+def _report_unresolved(
+    view: ProgramView, analysis: HBAnalysis
 ) -> list[Diagnostic]:
     diags: list[Diagnostic] = []
-    kernel = view.program.name
-
-    unresolved_reported: set[int] = set()
-    by_buffer: dict[str, list[SmemAccess]] = {}
-    for access in sites.smem_accesses:
-        if access.stage < 0:
+    reported: set[int] = set()
+    for access in analysis.unresolved:
+        if access.stage < 0 or access.stage in reported:
             continue
-        if access.buffer is None:
-            if access.stage not in unresolved_reported:
-                unresolved_reported.add(access.stage)
-                diags.append(Diagnostic(
-                    rule="WASP-S003",
-                    message="SMEM access with register address and no "
-                            "buffer tag; race analysis skips it",
-                    kernel=kernel,
-                    stage=access.stage,
-                    block=access.block,
-                    instruction=repr(access.instr),
-                    hint="tag the access with smem_buffer= in the "
-                         "builder",
-                ))
-            continue
-        by_buffer.setdefault(access.buffer, []).append(access)
-
-    sync_by_stage = sites.sync_ids_by_stage()
-    loops_cache: dict[int, set[str]] = {}
-
-    def loop_blocks(stage: int) -> set[str]:
-        if stage not in loops_cache:
-            blocks: set[str] = set()
-            for loop in section_loops(view, stage):
-                blocks.update(loop.body)
-            loops_cache[stage] = blocks
-        return loops_cache[stage]
-
-    for buffer in sorted(by_buffer):
-        accesses = by_buffer[buffer]
-        writer_stages = sorted({a.stage for a in accesses if a.is_write})
-        toucher_stages = sorted({a.stage for a in accesses})
-        for writer in writer_stages:
-            for other in toucher_stages:
-                if other == writer:
-                    continue
-                if _shares_sync(sync_by_stage, writer, other):
-                    continue
-                if not _ordered(sites, src=writer, dst=other):
-                    diags.append(Diagnostic(
-                        rule="WASP-S001",
-                        message=f"buffer {buffer!r} is written by stage "
-                                f"{writer} and touched by stage {other} "
-                                "with no arrive/wait pair ordering the "
-                                "write before the access",
-                        kernel=kernel,
-                        stage=writer,
-                        hint="insert a filled-style barrier: arrive in "
-                             f"stage {writer} after the writes, wait in "
-                             f"stage {other} before its accesses",
-                    ))
-                    continue
-                writes_in_loop = any(
-                    a.is_write and a.stage == writer
-                    and a.block in loop_blocks(writer)
-                    for a in accesses
-                )
-                if writes_in_loop and not _ordered(
-                    sites, src=other, dst=writer
-                ):
-                    diags.append(Diagnostic(
-                        rule="WASP-S001",
-                        message=f"buffer {buffer!r} is rewritten by stage "
-                                f"{writer} across generations but stage "
-                                f"{other} never signals it back "
-                                "(write-after-read hazard)",
-                        severity=Severity.WARNING,
-                        kernel=kernel,
-                        stage=writer,
-                        hint="insert an empty-style barrier: arrive in "
-                             f"stage {other} when done, wait in stage "
-                             f"{writer} before refilling",
-                    ))
+        reported.add(access.stage)
+        diags.append(Diagnostic(
+            rule="WASP-S003",
+            message="SMEM access with register address and no "
+                    "buffer tag; race analysis skips it",
+            kernel=view.program.name,
+            stage=access.stage,
+            block=access.block,
+            instruction=access.instr_repr,
+            hint="tag the access with smem_buffer= in the builder",
+        ))
     return diags
 
 
-def _shares_sync(
-    sync_by_stage: dict[int, set[str]], a: int, b: int
-) -> bool:
-    return bool(
-        sync_by_stage.get(a, set()) & sync_by_stage.get(b, set())
+def _report_races(
+    view: ProgramView, analysis: HBAnalysis
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    seen: set[tuple[str, str | None, int, int]] = set()
+    for verdict in analysis.racy():
+        key = (
+            verdict.group,
+            verdict.rule,
+            verdict.writer.stage,
+            verdict.other.stage,
+        )
+        if key in seen:
+            continue
+        seen.add(key)
+        diags.append(_race_diagnostic(view.program.name, verdict))
+    return diags
+
+
+def _race_diagnostic(kernel: str, v: PairVerdict) -> Diagnostic:
+    writer, other = v.writer, v.other
+    window = _format_window(v.d_tw, v.d_wt)
+    if v.rule == "WASP-S001":
+        message = (
+            f"buffer {v.group!r} is written by stage {writer.stage} "
+            f"and touched by stage {other.stage} with no ordering "
+            "between the write and the access in the same generation"
+        )
+        hint = (
+            "insert a filled-style barrier: arrive in stage "
+            f"{writer.stage} after the writes, wait in stage "
+            f"{other.stage} before its accesses"
+        )
+    elif v.rule == "WASP-S005":
+        message = (
+            f"buffer {v.group!r}: queue credit lets stage "
+            f"{writer.stage} run far enough ahead of stage "
+            f"{other.stage} to lap the buffer (unordered generation "
+            f"shifts {window}); ordering holds only with depth-1 "
+            "credit"
+        )
+        hint = (
+            "shrink the queue below the buffer's phase count or add "
+            "an empty-style barrier"
+        )
+    else:
+        message = (
+            f"buffer {v.group!r}: stage {writer.stage}'s write can "
+            f"land on a phase while stage {other.stage}'s access to "
+            f"the same phase from another generation is outstanding "
+            f"(unordered generation shifts {window})"
+        )
+        hint = (
+            "deepen the circular buffer or arrive an empty-style "
+            f"barrier in stage {other.stage} when each phase is done"
+        )
+    assert v.rule is not None
+    return Diagnostic(
+        rule=v.rule,
+        message=message,
+        kernel=kernel,
+        stage=writer.stage,
+        block=writer.block,
+        instruction=writer.instr_repr,
+        hint=hint,
     )
 
 
-def _ordered(sites: PipelineSites, src: int, dst: int) -> bool:
-    """True when some barrier is arrived in ``src`` and waited in ``dst``."""
-    for barrier_id in sites.barrier_ids("arrive"):
-        if src in sites.barrier_stages(barrier_id, "arrive") and (
-            dst in sites.barrier_stages(barrier_id, "wait")
-        ):
-            return True
-    return False
+def _format_window(d_tw: float, d_wt: float) -> str:
+    lo = "-inf" if d_tw == float("inf") else str(int(-d_tw))
+    hi = "inf" if d_wt == float("inf") else str(int(d_wt))
+    return f"({lo}, {hi})"

@@ -23,6 +23,7 @@ from repro.analysis.smem import check_smem
 from repro.core.specs import ThreadBlockSpec
 from repro.errors import VerificationError
 from repro.isa.program import Program
+from repro.telemetry.registry import TELEMETRY
 from repro.telemetry.spans import span
 
 
@@ -45,7 +46,7 @@ def verify_program(
         report.extend(structural)
         if any(d.rule in ("WASP-C001", "WASP-C002", "WASP-C004")
                for d in structural):
-            return report
+            return _finish(report)
 
         view = build_view(program)
         sites = collect_sites(view)
@@ -55,9 +56,22 @@ def verify_program(
 
         report.extend(check_queues(view, sites, spec))
         report.extend(check_deadlock(view, sites, spec))
-        report.extend(check_smem(view, sites))
+        report.extend(check_smem(view, sites, spec))
         report.extend(check_resources(view, spec, limits))
-        return report
+        return _finish(report)
+
+
+def _finish(report: DiagnosticReport) -> DiagnosticReport:
+    """Normalize (sort + dedup) and count rule firings."""
+    report = report.normalized()
+    if TELEMETRY.enabled:
+        for diag in report:
+            TELEMETRY.counter(
+                "verifier_rule_firings_total",
+                labels={"rule": diag.rule},
+                help="Diagnostics emitted per static-verifier rule.",
+            ).inc()
+    return report
 
 
 def verify_or_raise(

@@ -187,6 +187,11 @@ def build_profile_parser() -> argparse.ArgumentParser:
         "--trace-capacity", type=int, default=None,
         help="event ring-buffer size (oldest events drop beyond this)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="also run the vector-clock SMEM race sanitizer over each "
+             "kernel's functional execution and report observed races",
+    )
     _add_metrics_flags(parser)
     _add_cache_flags(parser)
     return parser
@@ -219,6 +224,15 @@ def build_lint_parser() -> argparse.ArgumentParser:
         "--json-out", default=None, metavar="PATH",
         help="write the full diagnostic report as JSON (CI archives "
              "this as an artifact)",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 log (GitHub "
+             "code scanning / IDE SARIF viewers)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit non-zero on warnings too, not only on errors",
     )
     parser.add_argument(
         "--verbose", action="store_true",
@@ -684,6 +698,131 @@ def _corediff_perf_text(diffs) -> str:
     )
 
 
+def build_racediff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro racediff",
+        description="Static-vs-dynamic race differential: run the fuzz "
+                    "corpus and/or the kernel registry with the "
+                    "vector-clock SMEM sanitizer attached and require "
+                    "every observed race to be flagged by the static "
+                    "happens-before engine (CI's race-analysis trust "
+                    "gate, the analysis counterpart of corediff).",
+    )
+    parser.add_argument(
+        "--corpus", action="store_true",
+        help="diff the committed fuzz corpus specs (default: corpus "
+             "and registry when neither flag is given)",
+    )
+    parser.add_argument(
+        "--registry", action="store_true",
+        help="diff every registry kernel under the standard "
+             "evaluation configs",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=0, metavar="N",
+        help="additionally diff N freshly generated fuzz specs",
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, metavar="B",
+        help="first seed for --seeds (default 0)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="registry problem-size scale (default 0.25)",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="corpus directory (default: tests/corpus/)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the per-comparison report as JSON",
+    )
+    _add_metrics_flags(parser)
+    _add_cache_flags(parser)
+    return parser
+
+
+def run_racediff(argv: list[str]) -> int:
+    """``repro racediff``: the sanitizer-vs-static race gate."""
+    args = build_racediff_parser().parse_args(argv)
+    _configure_cache(args)
+    _enable_metrics(args)
+
+    from pathlib import Path
+
+    from repro.analysis.racediff import (
+        RACEDIFF_SCHEMA,
+        racediff_registry_kernel,
+        racediff_spec,
+    )
+    from repro.fuzz.spec import generate_spec
+
+    do_corpus = args.corpus or not (args.corpus or args.registry
+                                    or args.seeds)
+    do_registry = args.registry or not (args.corpus or args.registry
+                                        or args.seeds)
+    start = time.time()
+    diffs = []
+
+    if do_corpus:
+        from repro.fuzz.corpus import load_corpus
+
+        corpus_dir = Path(args.corpus_dir) if args.corpus_dir else None
+        entries = load_corpus(corpus_dir)
+        # Injected-corruption entries replay a deliberately broken
+        # program; the fuzz oracle owns those expectations.
+        specs = [e.spec for e in entries if e.inject is None]
+        for spec in specs:
+            diffs.extend(racediff_spec(spec))
+        print(f"[corpus: {len(specs)} specs diffed]")
+
+    for seed in range(args.seed_base, args.seed_base + args.seeds):
+        diffs.extend(racediff_spec(generate_spec(seed)))
+    if args.seeds:
+        print(f"[seeds: {args.seeds} specs diffed]")
+
+    if do_registry:
+        from repro.experiments.configs import standard_configs
+        from repro.workloads.registry import all_benchmarks, get_benchmark
+
+        count = 0
+        for name in all_benchmarks():
+            bench = get_benchmark(name, scale=args.scale)
+            for kernel in bench.kernels:
+                for config in standard_configs():
+                    diffs.extend(
+                        racediff_registry_kernel(kernel, config)
+                    )
+                    count += 1
+        print(f"[registry: {count} kernel/config pairs diffed]")
+
+    bad = [d for d in diffs if not d.ok]
+    for diff in bad:
+        print(f"STATIC FALSE NEGATIVE {diff.label}")
+        for line in diff.missing:
+            print(f"  {line}")
+    skipped = sum(1 for d in diffs if d.skipped)
+    dynamic = sum(d.num_dynamic for d in diffs)
+    print(
+        f"racediff: {len(diffs) - len(bad)}/{len(diffs)} comparisons "
+        f"agree ({dynamic} dynamic race(s) observed, {skipped} "
+        f"skipped; {time.time() - start:.1f}s)"
+    )
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(
+                {
+                    "schema": RACEDIFF_SCHEMA,
+                    "comparisons": [d.to_json() for d in diffs],
+                },
+                handle, indent=2,
+            )
+        print(f"[wrote racediff JSON to {args.json_out}]")
+    _write_metrics(args, "racediff")
+    return 1 if bad or not diffs else 0
+
+
 def build_metrics_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro metrics",
@@ -873,7 +1012,17 @@ def run_lint(argv: list[str]) -> int:
         with open(args.json_out, "w", encoding="utf-8") as handle:
             json.dump(result.to_json(), handle, indent=2)
         print(f"[wrote lint JSON to {args.json_out}]")
-    return 0 if result.clean else 1
+    if args.sarif:
+        from repro.analysis.sarif import sarif_from_lint
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(sarif_from_lint(result), handle, indent=2)
+        print(f"[wrote SARIF log to {args.sarif}]")
+    if not result.clean:
+        return 1
+    if args.strict and result.num_warnings:
+        return 1
+    return 0
 
 
 def _configure_cache(args: argparse.Namespace) -> None:
@@ -938,6 +1087,8 @@ def run_profile(argv: list[str]) -> int:
         )
         print(profreport.profile_text(result.sim, title=title))
         print(_verifier_summary(result, kernel))
+        if args.sanitize:
+            print(_sanitize_summary(kernel, config))
         if profiler.dropped_events:
             print(
                 f"note: ring buffer dropped {profiler.dropped_events} "
@@ -978,6 +1129,51 @@ def run_profile(argv: list[str]) -> int:
           f"{time.time() - start:.1f}s]")
     _write_metrics(args, "profile")
     return 0
+
+
+def _sanitize_summary(kernel, config) -> str:
+    """Dynamic SMEM-race report for one profiled kernel.
+
+    Re-runs the kernel functionally with the vector-clock sanitizer
+    attached (the cached traces were generated without it), preferring
+    the specialized program when the config's compiler produces one.
+    """
+    from dataclasses import replace
+
+    from repro.errors import ReproError
+    from repro.experiments.runner import (
+        WaspCompiler,
+        _compiler_options_for,
+    )
+    from repro.fexec.machine import run_kernel
+
+    program, launch = kernel.program, kernel.launch
+    options = _compiler_options_for(kernel, config)
+    if options is not None:
+        try:
+            compiled = WaspCompiler(options).compile(
+                kernel.program, num_warps=kernel.launch.num_warps
+            )
+        except ReproError:
+            compiled = None
+        if compiled is not None and compiled.specialized:
+            program = compiled.program
+            launch = replace(
+                launch,
+                num_warps=launch.num_warps * compiled.num_stages,
+            )
+    try:
+        result = run_kernel(
+            program, kernel.image_factory(), launch,
+            collect_trace=False, sanitize=True,
+        )
+    except ReproError as exc:
+        return f"sanitizer: run failed ({type(exc).__name__}: {exc})"
+    if not result.races:
+        return "sanitizer: no SMEM races observed"
+    lines = [f"sanitizer: {len(result.races)} race(s) observed"]
+    lines.extend(f"  {race.format()}" for race in result.races)
+    return "\n".join(lines)
 
 
 def _verifier_summary(result, kernel) -> str:
@@ -1082,6 +1278,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_advise(argv[1:])
     if argv and argv[0] == "corediff":
         return run_corediff(argv[1:])
+    if argv and argv[0] == "racediff":
+        return run_racediff(argv[1:])
     if argv and argv[0] == "metrics":
         return run_metrics(argv[1:])
     if argv and argv[0] == "bench":
@@ -1103,6 +1301,8 @@ def main(argv: list[str] | None = None) -> int:
               "(repro advise --help)")
         print("  corediff  Reference-vs-event core differential "
               "(repro corediff --help)")
+        print("  racediff  Sanitizer-vs-static race differential "
+              "(repro racediff --help)")
         print("  metrics   Telemetry snapshot smoke run "
               "(repro metrics --help)")
         print("  bench     Perf-trajectory dashboard "

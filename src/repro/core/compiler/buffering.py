@@ -231,9 +231,11 @@ def _unroll_by_two(
     body_labels = {b.label for b in body}
     key_set = set(keys)
 
+    buffer_set = set(buffers)
     for blk in body:
         for instr in blk.instructions:
             _suffix_tile_keys(instr, key_set, "_A")
+            _tag_phase(instr, buffer_set, 0)
 
     # Pre-assign copy-B buffer locations at the end of SMEM so address
     # shifts are exact even when other allocations follow the buffer.
@@ -251,6 +253,7 @@ def _unroll_by_two(
         for instr in blk.instructions:
             clone = instr.clone()
             _swap_ab_tile_keys(clone, keys_a)
+            _tag_phase(clone, buffer_set, 1)
             if clone.opcode is Opcode.BRA and clone.target in body_labels:
                 clone.target = f"{clone.target}__db"
             _apply_buffer_offset(new_blk, clone, shifts, next_reg)
@@ -287,6 +290,19 @@ def _suffix_tile_keys(
             (role, key + suffix if key in keys else key)
             for role, key in roles
         ]
+
+
+def _tag_phase(
+    instr: Instruction, buffers: set[str], phase: int
+) -> None:
+    """Record which circular-buffer phase (copy) an access targets.
+
+    The happens-before race engine reads ``attrs['smem_phase']`` to
+    prove copy-A and copy-B accesses phase-disjoint even when the
+    address is computed in a register.
+    """
+    if instr.attrs.get("smem_buffer") in buffers:
+        instr.attrs["smem_phase"] = phase
 
 
 def _swap_ab_tile_keys(instr: Instruction, keys_a: set[str]) -> None:

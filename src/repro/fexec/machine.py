@@ -22,6 +22,7 @@ from repro.fexec.barriers import ArriveWaitBarrier, SyncBarrier
 from repro.fexec.launch import LaunchConfig
 from repro.fexec.memory_image import MemoryImage, sectors_of
 from repro.fexec.queues import FunctionalQueue
+from repro.fexec.sanitizer import SanitizerRace, SmemSanitizer
 from repro.fexec.trace import PRED_BASE, DynamicInstr, KernelTrace, WarpTrace
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
@@ -84,6 +85,7 @@ class FunctionalMachine:
         launch: LaunchConfig,
         tb_id: int = 0,
         collect_trace: bool = True,
+        sanitize: bool = False,
     ) -> None:
         program.validate()
         self.program = program
@@ -102,6 +104,9 @@ class FunctionalMachine:
         self._sync_barriers: dict[str, SyncBarrier] = {}
         self._warps = [self._make_warp(w) for w in range(launch.num_warps)]
         self._dynamic_count = 0
+        self._san: SmemSanitizer | None = None
+        if sanitize:
+            self._san = SmemSanitizer(program, launch.num_warps, tb_id)
 
     # -- setup ------------------------------------------------------------
 
@@ -185,7 +190,12 @@ class FunctionalMachine:
         if isinstance(op, QueueRef):
             # Caller must have checked can_pop; popping here keeps
             # evaluation order identical to operand order.
-            return self._queue(op.queue_id, warp.stage_warp_id).pop()
+            value = self._queue(op.queue_id, warp.stage_warp_id).pop()
+            if self._san is not None:
+                self._san.on_pop(
+                    warp.warp_id, op.queue_id, warp.stage_warp_id
+                )
+            return value
         raise ExecutionError(f"cannot evaluate operand {op!r}")
 
     def _uniform_int(self, warp: _WarpState, op: Operand) -> int:
@@ -341,10 +351,27 @@ class FunctionalMachine:
     def _exec_barrier(self, warp: _WarpState, instr: Instruction) -> None:
         if instr.opcode is Opcode.BAR_ARRIVE:
             self._aw_barrier(instr.barrier_id).arrive()
+            if self._san is not None:
+                self._san.on_arrive(warp.warp_id, instr.barrier_id)
         elif instr.opcode is Opcode.BAR_WAIT:
-            self._aw_barrier(instr.barrier_id).wait(warp.warp_id)
+            barrier = self._aw_barrier(instr.barrier_id)
+            barrier.wait(warp.warp_id)
+            if self._san is not None:
+                self._san.on_wait_pass(
+                    warp.warp_id,
+                    instr.barrier_id,
+                    barrier.wait_counts[warp.warp_id],
+                    barrier.expected,
+                    barrier.initial_credit,
+                )
         else:  # BAR_SYNC: arrival already marked in _step
-            self._sync_barrier(instr.barrier_id).passed(warp.warp_id)
+            sync = self._sync_barrier(instr.barrier_id)
+            phase = sync.warp_phase.get(warp.warp_id, 0)
+            sync.passed(warp.warp_id)
+            if self._san is not None:
+                self._san.on_sync_pass(
+                    warp.warp_id, instr.barrier_id, phase
+                )
         self._record(warp, instr)
 
     def _exec_data(self, warp: _WarpState, instr: Instruction) -> None:
@@ -373,13 +400,13 @@ class FunctionalMachine:
             addrs = self._value(warp, instr.srcs[0]).astype(np.int64)
             result = np.zeros(self.launch.warp_width)
             if mask.any():
-                result[mask] = self._smem_load(addrs[mask])
+                result[mask] = self._smem_load(addrs[mask], warp)
             smem_words = int(mask.sum())
         elif opcode is Opcode.STS:
             addrs = self._value(warp, instr.srcs[0]).astype(np.int64)
             values = self._value(warp, instr.srcs[1])
             if mask.any():
-                self._smem_store(addrs[mask], values[mask])
+                self._smem_store(addrs[mask], values[mask], warp)
             smem_words = int(mask.sum())
             result = None
             is_store = True
@@ -387,7 +414,9 @@ class FunctionalMachine:
             gaddrs = self._value(warp, instr.srcs[0]).astype(np.int64)
             saddrs = self._value(warp, instr.srcs[1]).astype(np.int64)
             if mask.any():
-                self._smem_store(saddrs[mask], self.memory.load(gaddrs[mask]))
+                self._smem_store(
+                    saddrs[mask], self.memory.load(gaddrs[mask]), warp
+                )
                 sectors = sectors_of(gaddrs[mask])
             smem_words = int(mask.sum())
             result = None
@@ -459,6 +488,10 @@ class FunctionalMachine:
             return
         if isinstance(instr.dst, QueueRef):
             self._queue(instr.dst.queue_id, warp.stage_warp_id).push(result)
+            if self._san is not None:
+                self._san.on_push(
+                    warp.warp_id, instr.dst.queue_id, warp.stage_warp_id
+                )
             return
         flat = _flat_reg(instr.dst)
         if mask.all():
@@ -469,19 +502,34 @@ class FunctionalMachine:
 
     # -- shared memory ------------------------------------------------------
 
-    def _smem_load(self, addrs: np.ndarray) -> np.ndarray:
+    def _smem_load(
+        self, addrs: np.ndarray, warp: _WarpState | None = None
+    ) -> np.ndarray:
         if addrs.min(initial=0) < 0 or addrs.max(initial=0) >= len(self.smem):
             raise ExecutionError(
                 f"SMEM load out of bounds in {self.program.name!r}: "
                 f"{addrs.min()}..{addrs.max()} (smem={len(self.smem)})"
             )
+        if self._san is not None and warp is not None:
+            self._san.on_read(
+                warp.warp_id, self._san.block_stage[warp.block_idx], addrs
+            )
         return self.smem[addrs]
 
-    def _smem_store(self, addrs: np.ndarray, values: np.ndarray) -> None:
+    def _smem_store(
+        self,
+        addrs: np.ndarray,
+        values: np.ndarray,
+        warp: _WarpState | None = None,
+    ) -> None:
         if addrs.min(initial=0) < 0 or addrs.max(initial=0) >= len(self.smem):
             raise ExecutionError(
                 f"SMEM store out of bounds in {self.program.name!r}: "
                 f"{addrs.min()}..{addrs.max()} (smem={len(self.smem)})"
+            )
+        if self._san is not None and warp is not None:
+            self._san.on_write(
+                warp.warp_id, self._san.block_stage[warp.block_idx], addrs
             )
         self.smem[addrs] = values
 
@@ -504,10 +552,13 @@ class FunctionalMachine:
         self._smem_store(
             np.arange(sbase, sbase + count, dtype=np.int64),
             self.memory.load(addrs),
+            warp,
         )
         barrier_id = instr.attrs.get("barrier")
         if barrier_id:
             self._aw_barrier(barrier_id).arrive()
+            if self._san is not None:
+                self._san.on_arrive(warp.warp_id, barrier_id)
         width = self.launch.warp_width
         vector_sectors = [
             sectors_of(addrs[k : k + width]) for k in range(0, count, width)
@@ -536,6 +587,10 @@ class FunctionalMachine:
         for k in range(count):
             addrs = base_vec + k * vec_stride
             queue.push(self.memory.load(addrs))
+            if self._san is not None:
+                self._san.on_push(
+                    warp.warp_id, instr.dst.queue_id, warp.stage_warp_id
+                )
             vector_sectors.append(sectors_of(addrs))
         return {
             "mode": "stream",
@@ -574,8 +629,12 @@ class FunctionalMachine:
             data = self.memory.load(data_addrs)
             if queue is not None:
                 queue.push(data)
+                if self._san is not None:
+                    self._san.on_push(
+                        warp.warp_id, queue.queue_id, warp.stage_warp_id
+                    )
             else:
-                self._smem_store(sbase + k * width + lanes, data)
+                self._smem_store(sbase + k * width + lanes, data, warp)
                 smem_words += width
             # Both phases consume memory bandwidth: index fetch, then the
             # dependent data fetch (kept separate for two-phase timing).
@@ -665,6 +724,7 @@ class ExecutionResult:
 
     traces: list[KernelTrace]
     memory: MemoryImage
+    races: list[SanitizerRace] = field(default_factory=list)
 
 
 def run_kernel(
@@ -672,12 +732,21 @@ def run_kernel(
     memory: MemoryImage,
     launch: LaunchConfig,
     collect_trace: bool = True,
+    sanitize: bool = False,
 ) -> ExecutionResult:
     """Functionally execute every thread block of a launch (serially)."""
     traces = []
+    races: list[SanitizerRace] = []
     for tb_id in range(launch.num_thread_blocks):
         machine = FunctionalMachine(
-            program, memory, launch, tb_id=tb_id, collect_trace=collect_trace
+            program,
+            memory,
+            launch,
+            tb_id=tb_id,
+            collect_trace=collect_trace,
+            sanitize=sanitize,
         )
         traces.append(machine.run())
-    return ExecutionResult(traces=traces, memory=memory)
+        if machine._san is not None:
+            races.extend(machine._san.races)
+    return ExecutionResult(traces=traces, memory=memory, races=races)

@@ -20,8 +20,10 @@ program has no applicable site (e.g. no arrive/wait barriers).
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable
 
+from repro.core.specs import ThreadBlockSpec
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.operands import Immediate, QueueRef, Register
@@ -80,11 +82,83 @@ def arrive_to_wait(program: Program) -> Program | None:
     return None
 
 
+def drop_arrive(program: Program) -> Program | None:
+    """Delete the first ``BAR.ARRIVE`` instruction outright.
+
+    The signal that publishes a producer's shared-memory writes never
+    fires: statically a barrier-pairing violation (and the
+    happens-before engine loses the ordering edge, so the guarded
+    buffer races); dynamically the partner ``BAR.WAIT`` starves into a
+    deadlock — or, when the barrier had initial credit, the consumer
+    runs ahead and the SMEM sanitizer observes the race directly.
+    """
+    mutant, _ = _clone_sites(program)
+    for block in mutant.blocks:
+        for pos, instr in enumerate(block.instructions):
+            if instr.opcode is Opcode.BAR_ARRIVE:
+                del block.instructions[pos]
+                return mutant
+    return None
+
+
+def reorder_push(program: Program) -> Program | None:
+    """Hoist a queue push above the SMEM write it publishes.
+
+    Models a compiler scheduling bug: the producer signals "data ready"
+    before the data lands.  The queue's data edge no longer orders the
+    write before the consumer's read — statically a same-generation
+    SMEM race, dynamically stale reads (memory divergence and a
+    sanitizer-observed race).
+    """
+    mutant, _ = _clone_sites(program)
+    smem_writes = (Opcode.STS, Opcode.LDGSTS, Opcode.TMA_TILE)
+    for block in mutant.blocks:
+        write_pos: int | None = None
+        for pos, instr in enumerate(block.instructions):
+            if instr.opcode in smem_writes:
+                if write_pos is None:
+                    write_pos = pos
+            elif write_pos is not None and isinstance(
+                instr.dst, QueueRef
+            ):
+                push = block.instructions.pop(pos)
+                block.instructions.insert(write_pos, push)
+                return mutant
+    return None
+
+
+def phase_off_by_one(program: Program) -> Program | None:
+    """Grant one barrier an extra generation of initial credit.
+
+    The classic circular-buffer off-by-one: an empty-style barrier
+    starts one generation too permissive, so a producer may refill a
+    phase while a consumer is still reading it.  Statically a
+    phase-overlap race (the happens-before window widens by one
+    occurrence); dynamically a sanitizer-observed race — the pipeline
+    still drains, so nothing deadlocks.
+    """
+    spec = program.tb_spec
+    if not isinstance(spec, ThreadBlockSpec) or not spec.barrier_initial:
+        return None
+    initial = dict(spec.barrier_initial)
+    credited = [b for b in sorted(initial) if initial[b] > 0]
+    if not credited:
+        return None
+    mutant, _ = _clone_sites(program)
+    name = credited[0]
+    initial[name] += spec.barrier_expected.get(name, 1)
+    mutant.tb_spec = replace(spec, barrier_initial=initial)
+    return mutant
+
+
 #: name -> mutation function, the vocabulary of ``repro fuzz --inject``.
 MUTATIONS: dict[str, Callable[[Program], Program | None]] = {
     "drop-pop": drop_pop,
     "drop-push": drop_push,
     "arrive-to-wait": arrive_to_wait,
+    "drop-arrive": drop_arrive,
+    "reorder-push": reorder_push,
+    "phase-off-by-one": phase_off_by_one,
 }
 
 

@@ -373,12 +373,27 @@ def _check_one_variant(
     )
     image = kernel.image_factory()
     try:
-        spec_result = run_kernel(program, image, launch)
+        # Injected corruptions additionally run under the SMEM
+        # sanitizer: orderings a mutation breaks without deadlocking
+        # (e.g. reorder-push, phase-off-by-one) must still be caught
+        # dynamically.
+        spec_result = run_kernel(
+            program, image, launch, sanitize=inject is not None
+        )
     except ReproError as exc:
         fail(
             "deadlock" if "deadlock" in type(exc).__name__.lower()
             else "runtime-crash",
             f"{type(exc).__name__}: {str(exc)[:300]}",
+            program=program,
+        )
+        return
+
+    if spec_result.races:
+        fail(
+            "sanitizer-race",
+            f"{len(spec_result.races)} unordered SMEM access pair(s); "
+            f"first: {spec_result.races[0].format()}",
             program=program,
         )
         return

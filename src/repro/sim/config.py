@@ -138,6 +138,13 @@ class GPUConfig:
     # contract enforced by repro.sim.differential and CI).
     core: str = "event"
 
+    # Opt-in vector-clock SMEM race sanitizer: the functional run
+    # shadows every shared-memory access and reports cross-stage pairs
+    # no barrier/queue edge ordered (repro.fexec.sanitizer).  Races
+    # land on SimResult.sanitizer_races; ``repro racediff``
+    # cross-checks them against the static happens-before engine.
+    sanitize: bool = False
+
     def __post_init__(self) -> None:
         if self.processing_blocks <= 0 or self.warp_slots_per_pb <= 0:
             raise SimulationError("SM must have processing blocks and slots")

@@ -28,6 +28,7 @@ from repro.sim.occupancy import Occupancy
 from repro.sim.results import TIMELINE_BUCKET, SimResult, SMStats
 from repro.sim.sm import SMSimulator
 from repro.sim.sm_event import EventSMSimulator
+from repro.telemetry.registry import TELEMETRY
 from repro.telemetry.spans import span
 
 __all__ = [
@@ -88,8 +89,15 @@ def simulate_program(
     profiler: PipelineProfiler | None = None,
 ) -> SimResult:
     """Functionally execute then time ``program``."""
-    result = run_kernel(program, memory, launch)
-    return simulate_kernel(result.traces, config, profiler=profiler)
+    result = run_kernel(program, memory, launch, sanitize=config.sanitize)
+    if config.sanitize and result.races and TELEMETRY.enabled:
+        TELEMETRY.counter(
+            "sanitizer_races_total",
+            help="Races observed by the dynamic SMEM sanitizer.",
+        ).inc(len(result.races))
+    sim = simulate_kernel(result.traces, config, profiler=profiler)
+    sim.sanitizer_races = list(result.races)
+    return sim
 
 
 def _summarize(

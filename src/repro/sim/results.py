@@ -124,6 +124,9 @@ class SimResult:
     queue_profiles: list[QueueChannelProfile] = field(default_factory=list)
     #: Closed stall intervals (see :attr:`SMStats.stall_spans`).
     stall_spans: int = 0
+    #: Races observed by the opt-in SMEM sanitizer
+    #: (``GPUConfig(sanitize=True)``); empty when disabled.
+    sanitizer_races: list = field(default_factory=list)
 
     @property
     def dynamic_instructions(self) -> int:

@@ -27,6 +27,14 @@ CASES = [
      "WASP-Q"),
     ("drop-push", 2, {"deadlock", "runtime-crash"}, "WASP-"),
     ("arrive-to-wait", 7, {"deadlock"}, "WASP-D"),
+    # The producer's "data ready" signal disappears: the consumer's
+    # wait starves (dynamic deadlock) and the happens-before engine
+    # loses the ordering edge (WASP-D002 + WASP-S001).
+    ("drop-arrive", 7, {"deadlock", "sanitizer-race"}, "WASP-"),
+    # One extra generation of barrier credit: nothing deadlocks, so
+    # only the SMEM sanitizer can catch it dynamically — and the
+    # static side must see the phase overlap (WASP-S004).
+    ("phase-off-by-one", 7, {"sanitizer-race"}, "WASP-S"),
 ]
 
 
