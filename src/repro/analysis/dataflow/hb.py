@@ -659,6 +659,25 @@ class _GraphBuilder:
                 for a in arrives
             ):
                 continue
+            # The per-site edge arrive@i hb wait@(i+δ) also needs the
+            # arrivals of one iteration to make exactly one generation
+            # (Σ site warps == expected).  An over-subscribed barrier
+            # — e.g. a ring slot credited from an extra site — reaches
+            # the wait threshold early, so no per-site edge holds;
+            # dropping them lets the window analysis surface the
+            # over-credited accesses as racy.
+            if (
+                self.spec is not None
+                and barrier_id in self.spec.barrier_expected
+            ):
+                per_iter = 0
+                for a in arrives:
+                    if not 0 <= a.stage < len(self.spec.warps_per_stage):
+                        per_iter = -1
+                        break
+                    per_iter += len(self.spec.warps_per_stage[a.stage])
+                if per_iter != self.spec.barrier_expected[barrier_id]:
+                    continue
             delta = self._barrier_delta(barrier_id)
             if delta is None:
                 continue
@@ -797,16 +816,22 @@ def _resolve_phase(
     """Phase of one access within its buffer group.
 
     Order: an explicit ``smem_phase`` tag (with ``smem_phases`` for a
-    rotating modulo-N schedule), then the physical double-buffer copy
-    the address lands in, else unknown.
+    rotating modulo-N schedule), then the physical ring-slot copy the
+    address lands in, else unknown.  Ring copies follow the buffering
+    pass's naming: slot 0 is the bare buffer, slot 1 is ``name__db``,
+    slot k>=2 is ``name__db<k>``.
     """
     group = site.buffer
     copies: list[str] = []
     if group is not None and group in buffers:
         copies = [group]
-        partner = f"{group}__db"
-        if partner in buffers:
+        k = 1
+        while True:
+            partner = f"{group}__db" if k == 1 else f"{group}__db{k}"
+            if partner not in buffers:
+                break
             copies.append(partner)
+            k += 1
     period = max(1, len(copies))
 
     attrs = site.instr.attrs

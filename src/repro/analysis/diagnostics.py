@@ -124,6 +124,10 @@ RULES: dict[str, tuple[Severity, str]] = {
     "WASP-R006": (Severity.WARNING,
                   "thread-block specification disagrees with the program "
                   "(smem_words / register counts)"),
+    "WASP-R007": (Severity.ERROR,
+                  "circular-buffer ring credited deeper than its slots: "
+                  "initial empty-barrier credit admits more buffer "
+                  "generations than the ring has SMEM copies"),
 }
 
 

@@ -23,6 +23,7 @@ dynamically), so the reverse direction is not checked.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field, replace
 from typing import Any
 
@@ -33,10 +34,12 @@ from repro.fexec.sanitizer import SanitizerRace
 
 RACEDIFF_SCHEMA = "repro-racediff-report-v1"
 
+_COPY_SUFFIX = re.compile(r"__db\d*$")
+
 
 def _canon_group(group: str) -> str:
-    """Collapse a double-buffer copy onto its base buffer group."""
-    return group[:-4] if group.endswith("__db") else group
+    """Collapse a circular-buffer ring copy onto its base buffer group."""
+    return _COPY_SUFFIX.sub("", group)
 
 
 @dataclass

@@ -584,6 +584,7 @@ def build_corediff_parser() -> argparse.ArgumentParser:
         "--corpus-dir", default=None, metavar="DIR",
         help="corpus directory (default: tests/corpus/)",
     )
+    _add_depths_flag(parser)
     parser.add_argument(
         "--json-out", default=None, metavar="PATH",
         help="write the per-comparison report as JSON",
@@ -591,6 +592,41 @@ def build_corediff_parser() -> argparse.ArgumentParser:
     _add_metrics_flags(parser)
     _add_cache_flags(parser)
     return parser
+
+
+def _add_depths_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--depths", default="2", metavar="N[,N...]",
+        help="circular-buffer pipeline depths for the registry sweep "
+             "(comma-separated, default 2; deeper rings re-derive "
+             "every compiler-enabled config)",
+    )
+
+
+def _depth_configs(configs: list, depths: list[int]) -> list:
+    """Expand evaluation configs across circular-buffer depths.
+
+    Depth 2 keeps the configs verbatim (the historical sweep); deeper
+    rings re-derive each compiler-enabled config with
+    ``pipeline_depth=d``.  Baseline-style configs have no compiler to
+    deepen and only appear at depth 2.
+    """
+    from dataclasses import replace
+
+    out = []
+    for depth in depths:
+        for config in configs:
+            if depth == 2:
+                out.append(config)
+            elif config.compiler is not None:
+                out.append(replace(
+                    config,
+                    name=f"{config.name}@d{depth}",
+                    compiler=replace(
+                        config.compiler, pipeline_depth=depth
+                    ),
+                ))
+    return out
 
 
 def run_corediff(argv: list[str]) -> int:
@@ -629,11 +665,15 @@ def run_corediff(argv: list[str]) -> int:
         from repro.experiments.configs import standard_configs
         from repro.workloads.registry import all_benchmarks, get_benchmark
 
+        configs = _depth_configs(
+            standard_configs(),
+            [int(d) for d in args.depths.split(",")],
+        )
         count = 0
         for name in all_benchmarks():
             bench = get_benchmark(name, scale=args.scale)
             for kernel in bench.kernels:
-                for config in standard_configs():
+                for config in configs:
                     diffs.extend(diff_registry_kernel(kernel, config))
                     count += 1
         print(f"[registry: {count} kernel/config pairs diffed]")
@@ -734,6 +774,7 @@ def build_racediff_parser() -> argparse.ArgumentParser:
         "--corpus-dir", default=None, metavar="DIR",
         help="corpus directory (default: tests/corpus/)",
     )
+    _add_depths_flag(parser)
     parser.add_argument(
         "--json-out", default=None, metavar="PATH",
         help="write the per-comparison report as JSON",
@@ -786,11 +827,15 @@ def run_racediff(argv: list[str]) -> int:
         from repro.experiments.configs import standard_configs
         from repro.workloads.registry import all_benchmarks, get_benchmark
 
+        configs = _depth_configs(
+            standard_configs(),
+            [int(d) for d in args.depths.split(",")],
+        )
         count = 0
         for name in all_benchmarks():
             bench = get_benchmark(name, scale=args.scale)
             for kernel in bench.kernels:
-                for config in standard_configs():
+                for config in configs:
                     diffs.extend(
                         racediff_registry_kernel(kernel, config)
                     )

@@ -1,4 +1,4 @@
-"""LDGSTS fusion and single/double buffering (Sections IV-A and IV-B).
+"""LDGSTS fusion and N-stage circular buffering (Sections IV-A/IV-B).
 
 Three transformations, applied to the working program *before* stage
 splitting:
@@ -12,12 +12,18 @@ splitting:
    barriers (producer: wait-empty/arrive-filled; consumers:
    arrive-empty/wait-filled), which is the paper's single-buffering
    transformation.
-3. :func:`apply_double_buffering` — the innermost loop around a tile's
-   sync pair is unrolled by two (the paper "replicates the subprogram"),
-   the second copy targeting the second half of each doubled SMEM
-   buffer with its own barrier set (Figure 10).  All tile keys living
-   in the same loop are transformed together so their barrier
-   generations stay aligned.
+3. :func:`apply_circular_buffering` — the innermost loop around a
+   tile's sync pair is unrolled ``depth`` times (the paper "replicates
+   the subprogram"), copy *k* targeting the *k*-th ring slot of each
+   replicated SMEM buffer with its own barrier set (Figure 10;
+   ``depth=2`` is classic double buffering, deeper rings follow the
+   8-slot circular schedule of production TMA/MMA kernels).  All tile
+   keys living in the same loop are transformed together so their
+   barrier generations stay aligned.  After stage splitting the
+   producer and consumer sections advance through the ring
+   independently — they are no longer lockstep clones — the producer
+   running up to ``depth`` generations ahead, bounded only by the
+   per-slot empty/filled barrier credits.
 """
 
 from __future__ import annotations
@@ -156,18 +162,58 @@ def innermost_loop(program: Program, block_idx: int) -> Loop | None:
     return best
 
 
+#: Ring-slot key suffixes: phase k of tile key ``tileN`` becomes
+#: ``tileN_<letter>``.  Eight letters bound the ring depth at 8, the
+#: deepest circular schedule observed in production kernels.
+PHASE_SUFFIXES = "ABCDEFGH"
+
+MAX_PIPELINE_DEPTH = len(PHASE_SUFFIXES)
+
+
+def phase_suffix(phase: int) -> str:
+    """Tile-key suffix for ring slot ``phase`` (``_A`` .. ``_H``)."""
+    return f"_{PHASE_SUFFIXES[phase]}"
+
+
+def copy_suffix(phase: int) -> str:
+    """Label/buffer suffix for ring slot ``phase``.
+
+    Slot 0 is the original (no suffix); slot 1 keeps the historical
+    ``__db`` double-buffer suffix; deeper slots are ``__db2``.. so the
+    strip rule everywhere stays ``__db\\d*``.
+    """
+    if phase <= 0:
+        return ""
+    if phase == 1:
+        return "__db"
+    return f"__db{phase}"
+
+
 def apply_double_buffering(
     program: Program, smem_capacity_words: int
 ) -> list[str]:
-    """Double-buffer every transformable tile loop; returns new keys.
+    """Classic double buffering: :func:`apply_circular_buffering` at 2."""
+    return apply_circular_buffering(program, smem_capacity_words, depth=2)
+
+
+def apply_circular_buffering(
+    program: Program, smem_capacity_words: int, depth: int = 2
+) -> list[str]:
+    """Ring-buffer every transformable tile loop; returns new keys.
 
     For each loop containing tagged tile sync pairs: verify every tile's
-    LDGSTS names a known SMEM buffer, the doubled buffers fit in
+    LDGSTS names a known SMEM buffer, the replicated buffers fit in
     ``smem_capacity_words``, and the loop's backedge is guarded with a
-    fall-through exit.  The loop is unrolled by two; copy A keeps tags
-    re-keyed to ``<key>_A`` and copy B gets ``<key>_B`` plus shifted
-    SMEM addresses.  Loops failing the checks keep single buffering.
+    fall-through exit.  The loop is unrolled ``depth`` times; copy 0
+    keeps tags re-keyed to ``<key>_A`` and copy ``k`` gets the *k*-th
+    phase letter plus SMEM addresses shifted into its ring slot.  Loops
+    failing the checks keep single buffering.
     """
+    if not 2 <= depth <= MAX_PIPELINE_DEPTH:
+        raise ValueError(
+            f"pipeline depth must be in [2, {MAX_PIPELINE_DEPTH}], "
+            f"got {depth}"
+        )
     block_of_uid = {
         instr.uid: idx
         for idx, blk in enumerate(program.blocks)
@@ -206,16 +252,20 @@ def apply_double_buffering(
         ):
             continue
         extra = sum(program.smem_buffers[name][1] for name in buffers)
-        if program.smem_words + extra > smem_capacity_words:
+        if program.smem_words + extra * (depth - 1) > smem_capacity_words:
             continue
         loop = Loop(head_idx=head_idx, tail_idx=tail_idx)
-        if _unroll_by_two(program, loop, keys, sorted(buffers)):
+        if _unroll_circular(program, loop, keys, sorted(buffers), depth):
             transformed.extend(keys)
     return transformed
 
 
-def _unroll_by_two(
-    program: Program, loop: Loop, keys: list[str], buffers: list[str]
+def _unroll_circular(
+    program: Program,
+    loop: Loop,
+    keys: list[str],
+    buffers: list[str],
+    depth: int,
 ) -> bool:
     tail = program.blocks[loop.tail_idx]
     backedge = tail.terminator
@@ -234,48 +284,61 @@ def _unroll_by_two(
     buffer_set = set(buffers)
     for blk in body:
         for instr in blk.instructions:
-            _suffix_tile_keys(instr, key_set, "_A")
+            _suffix_tile_keys(instr, key_set, phase_suffix(0))
             _tag_phase(instr, buffer_set, 0)
 
-    # Pre-assign copy-B buffer locations at the end of SMEM so address
-    # shifts are exact even when other allocations follow the buffer.
-    shifts: dict[str, int] = {}
+    # Pre-assign every replica's buffer location at the end of SMEM so
+    # address shifts are exact even when other allocations follow the
+    # buffer.  Layout: all of slot 1's buffers, then slot 2's, ...
+    shifts: dict[int, dict[str, int]] = {}
     copy_base = program.smem_words
-    for name in buffers:
-        orig_base, words = program.smem_buffers[name]
-        shifts[name] = copy_base - orig_base
-        copy_base += words
+    for phase in range(1, depth):
+        per_phase: dict[str, int] = {}
+        for name in buffers:
+            orig_base, words = program.smem_buffers[name]
+            per_phase[name] = copy_base - orig_base
+            copy_base += words
+        shifts[phase] = per_phase
     next_reg = [program.max_register_index() + 1]
     copy_blocks: list[BasicBlock] = []
-    keys_a = {f"{k}_A" for k in keys}
-    for blk in body:
-        new_blk = BasicBlock(f"{blk.label}__db")
-        for instr in blk.instructions:
-            clone = instr.clone()
-            _swap_ab_tile_keys(clone, keys_a)
-            _tag_phase(clone, buffer_set, 1)
-            if clone.opcode is Opcode.BRA and clone.target in body_labels:
-                clone.target = f"{clone.target}__db"
-            _apply_buffer_offset(new_blk, clone, shifts, next_reg)
-            new_blk.instructions.append(clone)
-        copy_blocks.append(new_blk)
+    phase_backedges: list[Instruction] = []
+    keys_a = {f"{k}{phase_suffix(0)}" for k in keys}
+    for phase in range(1, depth):
+        suffix = copy_suffix(phase)
+        for blk in body:
+            new_blk = BasicBlock(f"{blk.label}{suffix}")
+            for instr in blk.instructions:
+                clone = instr.clone()
+                _rekey_phase(clone, keys_a, phase)
+                _tag_phase(clone, buffer_set, phase)
+                if clone.opcode is Opcode.BRA and clone.target in body_labels:
+                    clone.target = f"{clone.target}{suffix}"
+                _apply_buffer_offset(new_blk, clone, shifts[phase], next_reg)
+                new_blk.instructions.append(clone)
+            copy_blocks.append(new_blk)
+        terminator = copy_blocks[-1].terminator
+        assert terminator is not None
+        phase_backedges.append(terminator)
 
-    # Rewire: copy A's backedge exits the loop when done and otherwise
-    # falls through into copy B; copy B's backedge returns to copy A.
+    # Rewire: every copy except the last exits the ring when the trip
+    # count is done and otherwise falls through into the next slot's
+    # copy; the final copy's backedge returns to slot 0.
     head_label = program.blocks[loop.head_idx].label
     backedge.guard_negated = not backedge.guard_negated
     backedge.target = exit_label
-    backedge_b = copy_blocks[-1].terminator
-    assert backedge_b is not None
-    backedge_b.target = head_label
+    for terminator in phase_backedges[:-1]:
+        terminator.guard_negated = not terminator.guard_negated
+        terminator.target = exit_label
+    phase_backedges[-1].target = head_label
 
     insert_at = loop.tail_idx + 1
     program.blocks[insert_at:insert_at] = copy_blocks
-    for name in buffers:
-        base = program.smem_words
-        words = program.smem_buffers[name][1]
-        program.smem_buffers[f"{name}__db"] = (base, words)
-        program.smem_words = base + words
+    for phase in range(1, depth):
+        for name in buffers:
+            base = program.smem_words
+            words = program.smem_buffers[name][1]
+            program.smem_buffers[f"{name}{copy_suffix(phase)}"] = (base, words)
+            program.smem_words = base + words
     return True
 
 
@@ -295,19 +358,23 @@ def _suffix_tile_keys(
 def _tag_phase(
     instr: Instruction, buffers: set[str], phase: int
 ) -> None:
-    """Record which circular-buffer phase (copy) an access targets.
+    """Record which circular-buffer phase (ring slot) an access targets.
 
     The happens-before race engine reads ``attrs['smem_phase']`` to
-    prove copy-A and copy-B accesses phase-disjoint even when the
+    prove accesses to different ring slots phase-disjoint even when the
     address is computed in a register.
     """
     if instr.attrs.get("smem_buffer") in buffers:
         instr.attrs["smem_phase"] = phase
 
 
-def _swap_ab_tile_keys(instr: Instruction, keys_a: set[str]) -> None:
+def _rekey_phase(
+    instr: Instruction, keys_a: set[str], phase: int
+) -> None:
+    """Re-key a cloned slot-0 (``_A``) tile key to ring slot ``phase``."""
+
     def swap(key: str) -> str:
-        return key[:-2] + "_B" if key in keys_a else key
+        return key[:-2] + phase_suffix(phase) if key in keys_a else key
 
     if instr.attrs.get("tile_key") in keys_a:
         instr.attrs["tile_key"] = swap(instr.attrs["tile_key"])

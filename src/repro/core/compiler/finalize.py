@@ -13,7 +13,11 @@ from __future__ import annotations
 from repro.analysis.diagnostics import Diagnostic
 from repro.analysis.verifier import structural_error
 from repro.core.compiler.regalloc import compact_registers
-from repro.core.compiler.stagesplit import StageProgram, partner_tile_key
+from repro.core.compiler.stagesplit import (
+    StageProgram,
+    ring_depth,
+    tile_ring,
+)
 from repro.core.specs import (
     NamedQueueSpec,
     ThreadBlockSpec,
@@ -207,10 +211,15 @@ def _barrier_metadata(
       * ``K_filled`` is arrived by producers: expected = |P| * num_warps.
       * ``K_empty`` is arrived by consumers (every non-producer stage):
         expected = (num_stages - |P|) * num_warps.
-      * Double buffering: copy A's empty barrier starts with a full
-        generation of credit (buffer A may be filled immediately);
-        copy B's first credit comes from the consumers' spurious
-        first-section arrival.
+      * Circular buffering at ring depth N: slots 0..N-2 start with a
+        full generation of empty credit (the producer may fill them
+        immediately); slot N-1's first credit comes from the consumers'
+        spurious first-section arrival, which credits the *previous*
+        slot of the one being entered.  Total initial credit is thus N
+        generations — the whole ring may be filled before the first
+        consume, after which each drained slot releases exactly one
+        refill.  Depth 2 is the classic double-buffer protocol (copy A
+        credited, copy B spuriously arrived).
     """
     producer_stages: dict[str, set[int]] = {}
     for stage_prog in stages:
@@ -223,6 +232,9 @@ def _barrier_metadata(
         consumers = num_stages - len(producers)
         expected[f"{key}_filled"] = len(producers) * num_warps
         expected[f"{key}_empty"] = max(1, consumers * num_warps)
-        if key.endswith("_A") and partner_tile_key(key) in producer_stages:
-            initial[f"{key}_empty"] = expected[f"{key}_empty"]
+        ring = tile_ring(key)
+        if ring is not None:
+            depth = ring_depth(key, producer_stages)
+            if depth >= 2 and ring[1] < depth - 1:
+                initial[f"{key}_empty"] = expected[f"{key}_empty"]
     return expected, initial

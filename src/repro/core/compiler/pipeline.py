@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.compiler.buffering import (
-    apply_double_buffering,
+    MAX_PIPELINE_DEPTH,
+    apply_circular_buffering,
     fuse_ldgsts,
     tag_tile_sync_pairs,
 )
@@ -51,6 +52,11 @@ class WaspCompilerOptions:
     enable_tile: bool = True
     enable_tma_offload: bool = True
     double_buffering: bool = True
+    #: Circular-buffer ring depth: how many generations of each tile
+    #: buffer live in SMEM at once.  2 is classic double buffering; up
+    #: to 8 slots hide full DRAM latency on attention-class pipelines.
+    #: Only meaningful when ``double_buffering`` is on.
+    pipeline_depth: int = 2
     max_stages: int = 16
     queue_size: int = 32
     smem_capacity_words: int = DEFAULT_SMEM_CAPACITY_WORDS
@@ -60,6 +66,13 @@ class WaspCompilerOptions:
     #: instead of raising.
     verify: bool = True
 
+    def __post_init__(self) -> None:
+        if not 2 <= self.pipeline_depth <= MAX_PIPELINE_DEPTH:
+            raise ValueError(
+                f"pipeline_depth must be in [2, {MAX_PIPELINE_DEPTH}], "
+                f"got {self.pipeline_depth}"
+            )
+
     def to_json(self) -> dict[str, object]:
         """Plain-data form (the ``repro advise`` report embeds these)."""
         return {
@@ -67,6 +80,7 @@ class WaspCompilerOptions:
             "enable_tile": self.enable_tile,
             "enable_tma_offload": self.enable_tma_offload,
             "double_buffering": self.double_buffering,
+            "pipeline_depth": self.pipeline_depth,
             "max_stages": self.max_stages,
             "queue_size": self.queue_size,
             "smem_capacity_words": self.smem_capacity_words,
@@ -174,8 +188,10 @@ class WaspCompiler:
             fused = fuse_ldgsts(work)
             tag_tile_sync_pairs(work)
             if opts.double_buffering:
-                double_buffered = apply_double_buffering(
-                    work, opts.smem_capacity_words
+                double_buffered = apply_circular_buffering(
+                    work,
+                    opts.smem_capacity_words,
+                    depth=opts.pipeline_depth,
                 )
 
         with span("compiler", "build_pdg"):

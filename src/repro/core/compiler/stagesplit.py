@@ -10,11 +10,12 @@ its role:
 * all other side-effecting instructions (global/shared stores) stay only
   in the compute stage;
 * tagged ``BAR.SYNC`` instructions are rewritten positionally into
-  arrive/wait barriers.  With double buffering the consumer arrives the
-  *partner* buffer's empty barrier at each section start (signalling it
-  finished the previous section's data), and buffer A's empty barrier
-  receives an initial credit — this is the generation protocol that
-  makes fill(k+1) overlap compute(k);
+  arrive/wait barriers.  With circular buffering the consumer arrives
+  the *previous* ring slot's empty barrier at each section start
+  (signalling it finished that slot's data), and every slot except the
+  last receives an initial empty credit — this is the generation
+  protocol that lets the producer fill up to ``depth`` slots ahead of
+  the consumer's compute;
 * dead code is eliminated (everything not reaching a side effect,
   branch, barrier or queue operation), which realizes the paper's
   "minimum instructions" phase-2 result;
@@ -26,7 +27,9 @@ its role:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.core.compiler.buffering import PHASE_SUFFIXES, phase_suffix
 from repro.core.compiler.extraction import ExtractionPlan, LoadPlan
 from repro.core.compiler.pdg import build_pdg
 from repro.isa.instruction import Instruction
@@ -60,13 +63,53 @@ class StageProgram:
     queue_pops: set[int] = field(default_factory=set)
 
 
-def partner_tile_key(key: str) -> str:
-    """The other buffer copy of a double-buffered tile key."""
-    if key.endswith("_A"):
-        return key[:-2] + "_B"
-    if key.endswith("_B"):
-        return key[:-2] + "_A"
-    return key
+def tile_ring(key: str) -> tuple[str, int] | None:
+    """``(base, phase)`` of a ring-suffixed tile key, else ``None``.
+
+    Ring keys are ``<base>_<letter>`` with the letter drawn from
+    :data:`~repro.core.compiler.buffering.PHASE_SUFFIXES`; anything
+    else is a single-buffered key with no ring identity.
+    """
+    if len(key) >= 3 and key[-2] == "_" and key[-1] in PHASE_SUFFIXES:
+        return key[:-2], PHASE_SUFFIXES.index(key[-1])
+    return None
+
+
+def phase_key(base: str, phase: int) -> str:
+    """Tile key of ring slot ``phase`` in ring ``base``."""
+    return f"{base}{phase_suffix(phase)}"
+
+
+def ring_depth(key: str, keys: "Iterable[str]") -> int:
+    """Ring size of ``key``'s buffer family within ``keys``.
+
+    Counts the phase-suffixed siblings sharing ``key``'s base; a
+    single-buffered key (no ring suffix) has depth 1.
+    """
+    ring = tile_ring(key)
+    if ring is None:
+        return 1
+    base = ring[0]
+    depth = 0
+    for other in keys:
+        other_ring = tile_ring(other)
+        if other_ring is not None and other_ring[0] == base:
+            depth += 1
+    return max(1, depth)
+
+
+def partner_tile_key(key: str, depth: int = 2) -> str:
+    """The *previous* ring slot's tile key (modulo the ring depth).
+
+    This is the slot a consumer vacated right before entering ``key``'s
+    section, so the consumer's section-entry arrival credits it.  For
+    ``depth=2`` this is the classic A<->B double-buffer swap.
+    """
+    ring = tile_ring(key)
+    if ring is None:
+        return key
+    base, phase = ring
+    return phase_key(base, (phase - 1) % max(1, depth))
 
 
 def build_stage_programs(
@@ -186,10 +229,11 @@ def _rewrite_tile_sync(
             if is_producer:
                 waits.append(_barrier(Opcode.BAR_WAIT, f"{key}_empty", instr))
             else:
+                depth = ring_depth(key, tile_producers)
                 arrives.append(
                     _barrier(
                         Opcode.BAR_ARRIVE,
-                        f"{partner_tile_key(key)}_empty",
+                        f"{partner_tile_key(key, depth)}_empty",
                         instr,
                     )
                 )

@@ -35,6 +35,7 @@ races are out of scope for both layers.
 
 from __future__ import annotations
 
+import re
 from collections import deque
 from dataclasses import dataclass
 from typing import Any
@@ -48,6 +49,10 @@ from repro.isa.program import Program
 #: Group name for SMEM words outside every declared buffer — matches
 #: the static site collector's anonymous fallback group.
 ANON_GROUP = "__smem__"
+
+#: Circular-buffer ring copies (``name__db``, ``name__db2``, ...) share
+#: their base buffer's group so verdicts align with the static pass.
+_COPY_SUFFIX = re.compile(r"__db\d*$")
 
 
 @dataclass(frozen=True)
@@ -119,8 +124,8 @@ class SmemSanitizer:
             self._clocks[w, w] = 1
 
         # Shadow memory: last write epoch per word, last read tick per
-        # (warp, word).  A double-buffer copy (``name__db``) shares its
-        # base buffer's group so verdicts align with the static pass.
+        # (warp, word).  A ring copy (``name__db``, ``name__db2``, ...)
+        # shares its base buffer's group (see ``_COPY_SUFFIX``).
         self._last_writer = np.full(words, -1, dtype=np.int64)
         self._last_write_tick = np.zeros(words, dtype=np.int64)
         self._read_ticks = np.zeros((num_warps, words), dtype=np.int64)
@@ -128,7 +133,7 @@ class SmemSanitizer:
         self._word_group = np.full(words, -1, dtype=np.int64)
         for name in sorted(program.smem_buffers):
             base, size = program.smem_buffers[name]
-            group = name[:-4] if name.endswith("__db") else name
+            group = _COPY_SUFFIX.sub("", name)
             if group not in self._group_names:
                 self._group_names.append(group)
             idx = self._group_names.index(group)

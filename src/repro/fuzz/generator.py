@@ -226,6 +226,80 @@ def _tiled(spec: FuzzSpec) -> Kernel:
     )
 
 
+def _deep(spec: FuzzSpec) -> Kernel:
+    """Coupled dual-stream tiles: the deep-pipeline (attention) shape.
+
+    Per tile: cooperatively stage matching ``x`` and ``y`` tiles into
+    two SMEM buffers between BAR.SYNCs, then accumulate their products
+    out of SMEM.  Both buffers join the same tile sync pair, so the
+    circular-buffering pass rotates them in lockstep — at
+    ``pipeline_depth`` N this is the kernel class whose ring alignment
+    the deep-pipeline battery targets.
+    """
+    threads = spec.num_warps * spec.warp_width
+    per_thread = max(1, spec.tile_elems // threads)
+    total = spec.iters * spec.tile_elems * spec.num_tbs
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(_IMAGE_WORDS)
+        rng = np.random.default_rng(spec.seed)
+        img.alloc("x", total)
+        img.write_array("x", rng.uniform(-4, 4, total))
+        img.alloc("y", total)
+        img.write_array("y", rng.uniform(-4, 4, total))
+        img.alloc("out", spec.tile_elems * spec.num_tbs)
+        return img
+
+    layout = image_factory()
+    b = ProgramBuilder(f"fuzz_deep_{spec.seed}")
+    buf_x = b.alloc_smem("ring_x", spec.tile_elems)
+    buf_y = b.alloc_smem("ring_y", spec.tile_elems)
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    tb = b.special(SpecialReg.TB_ID)
+    tid = b.imad(wid, spec.warp_width, lane)
+    tb_off = b.imul(tb, spec.iters * spec.tile_elems)
+    acc = b.mov(0.0)
+    t = b.mov(0)
+    b.label("tile_loop")
+    b.bar_sync("tb")
+    tile_base = b.imad(t, spec.tile_elems, tb_off)
+    for copy in range(per_thread):
+        offset = b.iadd(tid, copy * threads)
+        ga = b.iadd(tile_base, offset)
+        gx = b.iadd(ga, layout.base("x"))
+        gy = b.iadd(ga, layout.base("y"))
+        sx = b.iadd(offset, buf_x)
+        sy = b.iadd(offset, buf_y)
+        b.ldgsts(gx, sx, buffer="ring_x")
+        b.ldgsts(gy, sy, buffer="ring_y")
+    b.bar_sync("tb")
+    for copy in range(per_thread):
+        offset = b.iadd(tid, copy * threads)
+        sx = b.iadd(offset, buf_x)
+        sy = b.iadd(offset, buf_y)
+        xv = b.lds(sx, buffer="ring_x")
+        yv = b.lds(sy, buffer="ring_y")
+        prod = b.fmul(xv, yv)
+        prod = _fp_chain(b, prod, spec)
+        b.fadd(acc, prod, dst=acc)
+    b.iadd(t, 1, dst=t)
+    pred = b.isetp("lt", t, spec.iters)
+    b.bra("tile_loop", guard=pred)
+    b.label("epilogue")
+    out_off = b.imul(tb, spec.tile_elems)
+    oa = b.iadd(tid, out_off)
+    oa2 = b.iadd(oa, layout.base("out"))
+    b.stg(oa2, acc)
+    b.exit()
+    return Kernel(
+        name=b.program.name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=_launch(spec),
+    )
+
+
 def _reduction(spec: FuzzSpec) -> Kernel:
     """Block-stride accumulate, warp-collective sum, one store per warp.
 
@@ -370,4 +444,5 @@ _BUILDERS = {
     "tiled": _tiled,
     "reduction": _reduction,
     "mixed": _mixed,
+    "deep": _deep,
 }

@@ -20,19 +20,91 @@ program has no applicable site (e.g. no arrive/wait barriers).
 
 from __future__ import annotations
 
+import re
 from dataclasses import replace
 from typing import Callable
 
+from repro.core.compiler.stagesplit import phase_key, tile_ring
 from repro.core.specs import ThreadBlockSpec
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Opcode
 from repro.isa.operands import Immediate, QueueRef, Register
-from repro.isa.program import Program
+from repro.isa.program import BasicBlock, Program
+
+_COPY_RE = re.compile(r"__db\d*$")
+
+#: SMEM address operand position, mirroring the buffering pass.
+_SMEM_ADDR_POS = {Opcode.LDS: 0, Opcode.STS: 0, Opcode.LDGSTS: 1}
 
 
 def _clone_sites(program: Program) -> tuple[Program, list[Instruction]]:
     mutant = program.clone()
     return mutant, [i for blk in mutant.blocks for i in blk.instructions]
+
+
+def _ring_copies(program: Program) -> dict[str, list[int]]:
+    """Base buffer name -> ring copy base addresses, in slot order."""
+    families: dict[str, list[str]] = {}
+    for name in program.smem_buffers:
+        families.setdefault(_COPY_RE.sub("", name), []).append(name)
+    out: dict[str, list[int]] = {}
+    for base_name, names in families.items():
+        if len(names) < 2:
+            continue
+
+        def slot(n: str) -> int:
+            suffix = n[len(base_name):]
+            if not suffix:
+                return 0
+            return 1 if suffix == "__db" else int(suffix[len("__db"):])
+
+        names.sort(key=slot)
+        out[base_name] = [program.smem_buffers[n][0] for n in names]
+    return out
+
+
+def _shift_smem_address(
+    block: BasicBlock, instr: Instruction, delta: int
+) -> bool:
+    """Displace ``instr``'s SMEM address by ``delta`` words in place.
+
+    Immediate addresses shift directly; register addresses shift by
+    retuning the defining ``IADD``'s immediate (the unique per-site add
+    the buffering pass emitted).  Returns False when neither applies.
+    """
+    pos = _SMEM_ADDR_POS.get(instr.opcode)
+    if pos is None:
+        return False
+    addr = instr.srcs[pos]
+    if isinstance(addr, Immediate):
+        instr.srcs[pos] = Immediate(addr.value + delta)
+        return True
+    if isinstance(addr, Register):
+        index = block.instructions.index(instr)
+        for prior in reversed(block.instructions[:index]):
+            if (
+                prior.opcode is Opcode.IADD
+                and prior.dst == addr
+                and len(prior.srcs) == 2
+                and isinstance(prior.srcs[1], Immediate)
+            ):
+                prior.srcs[1] = Immediate(prior.srcs[1].value + delta)
+                return True
+    return False
+
+
+def _ring_phases(program: Program, base: str) -> set[int]:
+    """Ring slot indices whose barriers the program references."""
+    phases: set[int] = set()
+    for blk in program.blocks:
+        for ins in blk.instructions:
+            bid = ins.barrier_id
+            if not bid or not bid.endswith("_empty"):
+                continue
+            ring = tile_ring(bid[: -len("_empty")])
+            if ring is not None and ring[0] == base:
+                phases.add(ring[1])
+    return phases
 
 
 def drop_pop(program: Program) -> Program | None:
@@ -151,6 +223,102 @@ def phase_off_by_one(program: Program) -> Program | None:
     return mutant
 
 
+def skip_slot_advance(program: Program) -> Program | None:
+    """Point a later-slot SMEM fill back at ring slot 0.
+
+    Models a circular-buffering bug where one unrolled copy's address
+    rotation is lost: the producer's slot-``k`` fill (``k ≥ 1``) lands
+    in slot 0 while still synchronizing through slot ``k``'s barriers.
+    Statically a phase overlap (the retagged slot collides with slot
+    0's protocol); dynamically the sanitizer observes the fill racing
+    the consumer's in-flight slot-0 read — no deadlock, since every
+    barrier still fires.
+    """
+    mutant, _ = _clone_sites(program)
+    rings = _ring_copies(mutant)
+    for block in mutant.blocks:
+        for instr in block.instructions:
+            if instr.opcode not in (Opcode.STS, Opcode.LDGSTS):
+                continue
+            phase = instr.attrs.get("smem_phase", 0)
+            bases = rings.get(instr.attrs.get("smem_buffer"))
+            if phase < 1 or bases is None or phase >= len(bases):
+                continue
+            if _shift_smem_address(block, instr, bases[0] - bases[phase]):
+                instr.attrs["smem_phase"] = 0
+                return mutant
+    return None
+
+
+def depth_off_by_one(program: Program) -> Program | None:
+    """Credit one extra ring slot per consumer generation.
+
+    Models a consumer generated for a ring one slot deeper than the
+    one actually allocated: alongside the legitimate empty-credit
+    arrival it also credits the *next* slot, so the producer runs a
+    slot ahead of the reads.  Statically a credit/phase overlap on the
+    over-credited slot; dynamically a sanitizer-observed race — extra
+    arrivals only ever unblock, so nothing deadlocks.
+    """
+    mutant, _ = _clone_sites(program)
+    for block in mutant.blocks:
+        for pos, instr in enumerate(block.instructions):
+            if instr.opcode is not Opcode.BAR_ARRIVE:
+                continue
+            bid = instr.barrier_id
+            if not bid or not bid.endswith("_empty"):
+                continue
+            ring = tile_ring(bid[: -len("_empty")])
+            if ring is None:
+                continue
+            base, phase = ring
+            depth = len(_ring_phases(mutant, base))
+            if depth < 2:
+                continue
+            extra = Instruction(
+                Opcode.BAR_ARRIVE,
+                barrier_id=(
+                    f"{phase_key(base, (phase + 1) % depth)}_empty"
+                ),
+                guard=instr.guard,
+                guard_negated=instr.guard_negated,
+                category=instr.category,
+                attrs=dict(instr.attrs),
+            )
+            block.instructions.insert(pos + 1, extra)
+            return mutant
+    return None
+
+
+def stale_phase_read(program: Program) -> Program | None:
+    """Retarget a consumer's SMEM read one ring slot forward.
+
+    Models a stale (mis-rotated) phase index on the consume side: the
+    slot-``k`` read fetches slot ``k+1``, whose refill the slot-``k``
+    barriers never ordered against this read.  Statically a phase
+    overlap with the producer's slot-``k+1`` fill; dynamically a
+    sanitizer-observed write-read race plus a memory divergence (the
+    read returns the wrong tile).
+    """
+    mutant, _ = _clone_sites(program)
+    rings = _ring_copies(mutant)
+    for block in mutant.blocks:
+        for instr in block.instructions:
+            if instr.opcode is not Opcode.LDS:
+                continue
+            phase = instr.attrs.get("smem_phase")
+            bases = rings.get(instr.attrs.get("smem_buffer"))
+            if phase is None or bases is None or phase >= len(bases):
+                continue
+            nxt = (phase + 1) % len(bases)
+            if _shift_smem_address(
+                block, instr, bases[nxt] - bases[phase]
+            ):
+                instr.attrs["smem_phase"] = nxt
+                return mutant
+    return None
+
+
 #: name -> mutation function, the vocabulary of ``repro fuzz --inject``.
 MUTATIONS: dict[str, Callable[[Program], Program | None]] = {
     "drop-pop": drop_pop,
@@ -159,6 +327,9 @@ MUTATIONS: dict[str, Callable[[Program], Program | None]] = {
     "drop-arrive": drop_arrive,
     "reorder-push": reorder_push,
     "phase-off-by-one": phase_off_by_one,
+    "skip-slot-advance": skip_slot_advance,
+    "depth-off-by-one": depth_off_by_one,
+    "stale-phase-read": stale_phase_read,
 }
 
 

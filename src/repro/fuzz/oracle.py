@@ -46,7 +46,8 @@ from repro.workloads.base import Kernel
 #: Bumped whenever oracle checks change; invalidates cached verdicts.
 #: v2: passing verdicts carry W-level verifier warnings (e.g. WASP-Q006)
 #: so cached seeds still surface them in per-seed reports.
-ORACLE_VERSION = 2
+#: v3: deep-ring variant compiles every spec at pipeline_depth=4.
+ORACLE_VERSION = 3
 
 #: Deterministic compiler option tuples every spec is compiled under.
 OPTION_SETS: tuple[tuple[str, WaspCompilerOptions], ...] = (
@@ -55,6 +56,7 @@ OPTION_SETS: tuple[tuple[str, WaspCompilerOptions], ...] = (
     ("two-stage", WaspCompilerOptions(max_stages=2)),
     ("tiny-queues", WaspCompilerOptions(queue_size=2,
                                         enable_tma_offload=False)),
+    ("deep-ring", WaspCompilerOptions(pipeline_depth=4)),
 )
 
 

@@ -19,12 +19,15 @@ import random
 from dataclasses import asdict, dataclass, replace
 from typing import Any
 
-#: The access skeletons the paper names (Section II / Table II classes).
-SKELETONS = ("streaming", "gather", "tiled", "reduction", "mixed")
+#: The access skeletons the paper names (Section II / Table II classes),
+#: plus ``deep``: coupled dual-stream tiles shaped for N-stage circular
+#: buffering (the attention-class pipeline pattern).
+SKELETONS = ("streaming", "gather", "tiled", "reduction", "mixed", "deep")
 
 #: Spec format version; bumped when generated programs change for the
 #: same spec, which invalidates cached oracle verdicts.
-SPEC_VERSION = 1
+#: v2: deep skeleton added; every sixth seed re-routes to it.
+SPEC_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -73,6 +76,7 @@ class FuzzSpec:
             "tiled": f"tile={self.tile_elems}",
             "reduction": f"op={self.reduce_op}",
             "mixed": f"inner={self.inner_trip} op={self.reduce_op}",
+            "deep": f"tile={self.tile_elems} inputs={self.num_inputs}",
         }[self.skeleton]
         return (
             f"seed={self.seed} {self.skeleton} warps={self.num_warps}"
@@ -84,7 +88,13 @@ class FuzzSpec:
 def generate_spec(seed: int) -> FuzzSpec:
     """The spec for ``seed`` — deterministic and replayable."""
     rng = random.Random(seed)
-    skeleton = SKELETONS[rng.randrange(len(SKELETONS))]
+    # Draw from the original five skeletons so historical seed->spec
+    # mappings (pinned test seeds, committed corpus entries) survive
+    # the addition of ``deep``; every sixth seed re-routes there
+    # deterministically instead of widening the draw.
+    skeleton = SKELETONS[rng.randrange(5)]
+    if seed % 6 == 5:
+        skeleton = "deep"
     spec = FuzzSpec(
         seed=seed,
         skeleton=skeleton,
@@ -120,6 +130,16 @@ def generate_spec(seed: int) -> FuzzSpec:
             table_words=rng.choice([32, 64]),
             reduce_op=rng.choice(["sum", "min", "max"]),
         )
+    elif skeleton == "deep":
+        # Two coupled SMEM streams per tile; enough tiles that a deep
+        # circular buffer (pipeline_depth up to 8) turns over fully.
+        spec = replace(
+            spec,
+            tile_elems=spec.num_warps * spec.warp_width
+            * rng.choice([1, 2]),
+            iters=rng.randint(3, 8),
+            num_inputs=2,
+        )
     return spec
 
 
@@ -143,8 +163,8 @@ def shrink_candidates(spec: FuzzSpec) -> list[FuzzSpec]:
     """Strictly smaller specs to try, nearest-to-minimum first.
 
     For each shrinkable field this proposes the minimum and the halfway
-    point; the tiled skeleton keeps ``tile_elems`` in lockstep with the
-    thread count so the generated program stays well-formed.
+    point; the tiled and deep skeletons keep ``tile_elems`` in lockstep
+    with the thread count so the generated program stays well-formed.
     """
     out: list[FuzzSpec] = []
     for field, minimum in SHRINK_FIELDS:
@@ -153,7 +173,7 @@ def shrink_candidates(spec: FuzzSpec) -> list[FuzzSpec]:
             if target >= value:
                 continue
             candidate = replace(spec, **{field: target})
-            if candidate.skeleton == "tiled":
+            if candidate.skeleton in ("tiled", "deep"):
                 candidate = replace(
                     candidate,
                     tile_elems=candidate.num_warps * candidate.warp_width,

@@ -185,7 +185,9 @@ class Program:
         Returns an empty list for a well-formed program.  Rule ids:
         C001 empty, C002 duplicate labels, C003 branch mid-block,
         C004 unresolved branch target, C005 falls off the end / dangling
-        successor.
+        successor.  One spec-shape rule rides along: R007, a
+        circular-buffer ring whose initial empty-barrier credit admits
+        more generations than the ring has slots.
         """
         from repro.analysis.diagnostics import Diagnostic
 
@@ -230,6 +232,58 @@ class Program:
                     ))
         if not any(d.rule in ("WASP-C002", "WASP-C004") for d in diags):
             diags.extend(self._exit_diagnostics())
+        diags.extend(self._ring_credit_diagnostics())
+        return diags
+
+    #: Ring slot phase letters, mirroring the compiler's
+    #: ``PHASE_SUFFIXES`` (kept literal here: the ISA layer must not
+    #: import the compiler).
+    _RING_PHASE_LETTERS = "ABCDEFGH"
+
+    def _ring_credit_diagnostics(self) -> list:
+        """WASP-R007: a ring credited deeper than its slot count.
+
+        The N-slot circular-buffer protocol grants at most N−1
+        generations of explicit initial empty credit (the N-th comes
+        from the consumer's first spurious arrival), so any spec whose
+        per-ring credit generations *exceed* the slot count admits more
+        buffers in flight than exist — the producer would overwrite a
+        slot no consumer has released.
+        """
+        from repro.analysis.diagnostics import Diagnostic
+
+        expected = getattr(self.tb_spec, "barrier_expected", None)
+        initial = getattr(self.tb_spec, "barrier_initial", None)
+        if not expected or not initial:
+            return []
+        rings: dict[str, set[str]] = {}
+        for name in expected:
+            if not name.endswith("_empty"):
+                continue
+            key = name[: -len("_empty")]
+            if (len(key) >= 3 and key[-2] == "_"
+                    and key[-1] in self._RING_PHASE_LETTERS):
+                rings.setdefault(key[:-2], set()).add(name)
+        diags: list[Diagnostic] = []
+        for base in sorted(rings):
+            slots = rings[base]
+            generations = 0
+            for name in slots:
+                arrivals = expected.get(name, 0)
+                if arrivals > 0:
+                    generations += initial.get(name, 0) // arrivals
+            if generations > len(slots):
+                diags.append(Diagnostic(
+                    rule="WASP-R007",
+                    message=(
+                        f"ring {base!r} grants {generations} initial "
+                        f"empty-credit generations across "
+                        f"{len(slots)} slots"
+                    ),
+                    kernel=self.name,
+                    hint="initial credit must not exceed the slot "
+                         "count the buffering pass allocated",
+                ))
         return diags
 
     def _exit_diagnostics(self) -> list:

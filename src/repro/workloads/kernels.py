@@ -616,6 +616,290 @@ def tile_reduce_kernel(
     )
 
 
+def fused_attention_kernel(
+    name: str,
+    kv_tiles: int = 8,
+    tile_elems: int = 256,
+    num_tbs: int = 2,
+    num_warps: int = 2,
+    score_per_tile: int = 8,
+    seed: int = 8,
+) -> Kernel:
+    """FlashAttention-style fused attention skeleton.
+
+    Two coupled producer→compute chains share one softmax stage: per KV
+    tile the K and V tiles are cooperatively staged into SMEM between
+    barriers (two LDGSTS streams, like the GEMM A/B pair), then the
+    resident query fragment is scored against the K tile, scores are
+    squashed into positive weights with a rational softmax surrogate
+    (the ISA has FRCP but no EXP), and the weighted V tile folds into
+    the running output and normalizer — the online-softmax recurrence
+    that makes the whole attention a single deep pipeline.  This is the
+    kernel class that motivates ring depths beyond 2: each KV tile is
+    use-once, so an N-slot ring keeps N tile fetches in flight.
+    """
+    tile_per_warp = tile_elems // num_warps
+    total = tile_elems * kv_tiles * num_tbs
+    rows = tile_elems * num_tbs
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 19)
+        rng = np.random.default_rng(seed)
+        img.alloc("q", rows)
+        img.write_array("q", rng.uniform(-1, 1, rows))
+        img.alloc("kmat", total)
+        img.write_array("kmat", rng.uniform(-1, 1, total))
+        img.alloc("vmat", total)
+        img.write_array("vmat", rng.uniform(-1, 1, total))
+        img.alloc("out", rows)
+        return img
+
+    layout = image_factory()
+    q_base, k_base, v_base, out_base = (
+        layout.base("q"), layout.base("kmat"),
+        layout.base("vmat"), layout.base("out"),
+    )
+
+    b = ProgramBuilder(name)
+    buf_k = b.alloc_smem("tile_k", tile_elems)
+    buf_v = b.alloc_smem("tile_v", tile_elems)
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    tb = b.special(SpecialReg.TB_ID)
+    tid = b.imad(wid, WIDTH, lane)
+    tb_off = b.imul(tb, tile_elems * kv_tiles)
+    q_off = b.imul(tb, tile_elems)
+    q_pos = b.iadd(tid, q_off)
+    q_addr = b.iadd(q_pos, q_base)
+    q = b.ldg(q_addr)  # resident query fragment
+    o = b.mov(0.0)  # running weighted V sum
+    norm = b.mov(0.0009765625)  # running normalizer (epsilon seed)
+    t = b.mov(0)
+    copies_per_thread = max(1, tile_per_warp // WIDTH)
+    b.label("kv_loop")
+    b.bar_sync("tb")
+    tile_base = b.imad(t, tile_elems, tb_off)
+    for copy in range(copies_per_thread):
+        offset = b.iadd(tid, copy * num_warps * WIDTH)
+        ga = b.iadd(tile_base, offset)
+        gk = b.iadd(ga, k_base)
+        sk = b.iadd(offset, buf_k)
+        b.ldgsts(gk, sk, buffer="tile_k")
+        gv = b.iadd(ga, v_base)
+        sv = b.iadd(offset, buf_v)
+        b.ldgsts(gv, sv, buffer="tile_v")
+    b.bar_sync("tb")
+    j = b.mov(0)
+    b.label("score_loop")
+    slot = b.imad(j, WIDTH, lane)
+    wrapped = b.and_(slot, tile_elems - 1)
+    sk_addr = b.iadd(wrapped, buf_k)
+    kfrag = b.lds(sk_addr, buffer="tile_k")
+    score = b.fmul(q, kfrag)
+    score_sq = b.fmul(score, score)
+    denom = b.fadd(score_sq, 1.0)
+    weight = b.fmul(score_sq, b.frcp(denom))  # positive, in (0, 1)
+    sv_addr = b.iadd(wrapped, buf_v)
+    vfrag = b.lds(sv_addr, buffer="tile_v")
+    b.ffma(weight, vfrag, o, dst=o)
+    b.fadd(norm, weight, dst=norm)
+    b.iadd(j, 1, dst=j)
+    score_pred = b.isetp("lt", j, score_per_tile)
+    b.bra("score_loop", guard=score_pred)
+    b.label("kv_tail")
+    b.iadd(t, 1, dst=t)
+    kv_pred = b.isetp("lt", t, kv_tiles)
+    b.bra("kv_loop", guard=kv_pred)
+    b.label("softmax_epilogue")
+    b.fmul(o, b.frcp(norm), dst=o)  # shared softmax normalization
+    out_addr = b.iadd(q_pos, out_base)
+    b.stg(out_addr, o)
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
+def gemm_epilogue_kernel(
+    name: str,
+    k_tiles: int = 10,
+    tile_elems: int = 512,
+    num_tbs: int = 2,
+    num_warps: int = 4,
+    hmma_per_tile: int = 16,
+    seed: int = 9,
+) -> Kernel:
+    """SMEM-tiled GEMM with a fused bias+ReLU epilogue.
+
+    The mainloop is the CUTLASS tile pattern of
+    :func:`tile_gemm_kernel`; after the last K tile the accumulator
+    flows through a fused epilogue — a streaming bias gather plus a
+    ReLU clamp — before the store.  The epilogue loads live outside the
+    ring loop, so specialization must keep the epilogue's global
+    traffic in the compute stage while the mainloop's tile fetches ride
+    the circular buffer.
+    """
+    tile_per_warp = tile_elems // num_warps
+    total = tile_elems * k_tiles * num_tbs
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 19)
+        rng = np.random.default_rng(seed)
+        img.alloc("a", total)
+        img.write_array("a", rng.uniform(-1, 1, total))
+        img.alloc("bmat", total)
+        img.write_array("bmat", rng.uniform(-1, 1, total))
+        img.alloc("bias", tile_elems)
+        img.write_array("bias", rng.uniform(-0.5, 0.5, tile_elems))
+        img.alloc("c", tile_elems * num_tbs)
+        return img
+
+    layout = image_factory()
+    a_base, b_base = layout.base("a"), layout.base("bmat")
+    bias_base, c_base = layout.base("bias"), layout.base("c")
+
+    b = ProgramBuilder(name)
+    buf_a = b.alloc_smem("tile_a", tile_elems)
+    buf_b = b.alloc_smem("tile_b", tile_elems)
+    lane = b.special(SpecialReg.LANE_ID)
+    wid = b.special(SpecialReg.WARP_ID)
+    tb = b.special(SpecialReg.TB_ID)
+    tid = b.imad(wid, WIDTH, lane)
+    tb_off = b.imul(tb, tile_elems * k_tiles)
+    acc = b.mov(0.0)
+    t = b.mov(0)
+    copies_per_thread = max(1, tile_per_warp // WIDTH)
+    b.label("tile_loop")
+    b.bar_sync("tb")
+    tile_base = b.imad(t, tile_elems, tb_off)
+    for copy in range(copies_per_thread):
+        offset = b.iadd(tid, copy * num_warps * WIDTH)
+        ga = b.iadd(tile_base, offset)
+        ga2 = b.iadd(ga, a_base)
+        sa = b.iadd(offset, buf_a)
+        b.ldgsts(ga2, sa, buffer="tile_a")
+        gb = b.iadd(ga, b_base)
+        sb = b.iadd(offset, buf_b)
+        b.ldgsts(gb, sb, buffer="tile_b")
+    b.bar_sync("tb")
+    k = b.mov(0)
+    b.label("mma_loop")
+    slot = b.imad(k, WIDTH, lane)
+    wrapped = b.and_(slot, tile_elems - 1)
+    sa_addr = b.iadd(wrapped, buf_a)
+    frag_a = b.lds(sa_addr, buffer="tile_a")
+    sb_addr = b.iadd(wrapped, buf_b)
+    frag_b = b.lds(sb_addr, buffer="tile_b")
+    b.hmma(frag_a, frag_b, acc, dst=acc)
+    b.iadd(k, 1, dst=k)
+    mma_pred = b.isetp("lt", k, hmma_per_tile)
+    b.bra("mma_loop", guard=mma_pred)
+    b.label("tile_tail")
+    b.iadd(t, 1, dst=t)
+    tile_pred = b.isetp("lt", t, k_tiles)
+    b.bra("tile_loop", guard=tile_pred)
+    b.label("epilogue")
+    bias_addr = b.iadd(tid, bias_base)
+    bias = b.ldg(bias_addr)
+    b.fadd(acc, bias, dst=acc)
+    b.max_(acc, 0.0, dst=acc)  # ReLU
+    c_off = b.imul(tb, tile_elems)
+    c_addr = b.iadd(tid, c_off)
+    c_addr2 = b.iadd(c_addr, c_base)
+    b.stg(c_addr2, acc)
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+        is_gemm=True,
+    )
+
+
+def moe_gather_scatter_kernel(
+    name: str,
+    tokens_per_tb: int = 1024,
+    num_tbs: int = 4,
+    num_warps: int = 4,
+    num_experts: int = 8,
+    expert_words: int = 1 << 10,
+    fp_ops: int = 4,
+    seed: int = 10,
+) -> Kernel:
+    """MoE gather-route-scatter: route lookup, expert gather, permuted store.
+
+    Per token: load its routed expert id, gather the expert's weight
+    entry (a second-level data-dependent gather into one of
+    ``num_experts`` disjoint tables), run the expert FFN surrogate, and
+    scatter the result to the token's permuted output slot.  Three
+    levels of indirection on the read side plus a data-dependent store
+    address — the deep-pipeline shape WASP extracts multiple decoupled
+    load stages from.
+    """
+    total = tokens_per_tb * num_tbs
+
+    def image_factory() -> MemoryImage:
+        img = MemoryImage(1 << 19)
+        rng = np.random.default_rng(seed)
+        img.alloc("route", total)
+        img.write_array("route", rng.integers(0, num_experts, total))
+        img.alloc("tok", total)
+        img.write_array("tok", rng.uniform(-1, 1, total))
+        img.alloc("weights", num_experts * expert_words)
+        img.write_array(
+            "weights", rng.uniform(-1, 1, num_experts * expert_words)
+        )
+        img.alloc("perm", total)
+        img.write_array("perm", rng.permutation(total))
+        img.alloc("out", total)
+        return img
+
+    layout = image_factory()
+    route_base, tok_base = layout.base("route"), layout.base("tok")
+    w_base, perm_base = layout.base("weights"), layout.base("perm")
+    out_base = layout.base("out")
+
+    b = ProgramBuilder(name)
+    i, base, stride = _prologue(b, tokens_per_tb)
+    b.label("token_loop")
+    pos = b.iadd(base, i)
+    route_addr = b.iadd(pos, route_base)
+    expert = b.ldg(route_addr)
+    tok_addr = b.iadd(pos, tok_base)
+    x = b.ldg(tok_addr)
+    within = b.and_(pos, expert_words - 1)
+    w_idx = b.imad(expert, expert_words, within)
+    w_addr = b.iadd(w_idx, w_base)
+    w = b.ldg(w_addr)
+    y = b.fmul(x, w)
+    y = _fp_chain(b, y, fp_ops)
+    perm_addr = b.iadd(pos, perm_base)
+    dest = b.ldg(perm_addr)
+    out_addr = b.iadd(dest, out_base)
+    b.stg(out_addr, y)
+    b.iadd(i, stride, dst=i)
+    pred = b.isetp("lt", i, tokens_per_tb)
+    b.bra("token_loop", guard=pred)
+    b.label("done")
+    b.exit()
+    return Kernel(
+        name=name,
+        program=b.finish(),
+        image_factory=image_factory,
+        launch=LaunchConfig(
+            num_warps=num_warps, warp_width=WIDTH, num_thread_blocks=num_tbs
+        ),
+    )
+
+
 def stencil_kernel(
     name: str,
     elems_per_tb: int = 2048,

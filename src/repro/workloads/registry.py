@@ -42,6 +42,7 @@ def all_benchmarks() -> list[str]:
         "spgemm1_econ", "spgemm2_road",
         "hpcg", "hpgmg", "lulesh", "snap",
         "lonestar_bfs", "lonestar_mst", "lonestar_sp",
+        "flash_attention", "gemm_epilogue", "moe_routing",
     ]
     registered = set(_BUILDERS)
     ordered = [n for n in order if n in registered]
@@ -58,6 +59,7 @@ def _load_all() -> None:
         return
     _loaded = True
     # Import for registration side effects.
+    from repro.workloads import attention_suite  # noqa: F401
     from repro.workloads import graph_suite  # noqa: F401
     from repro.workloads import hpc  # noqa: F401
     from repro.workloads import ml  # noqa: F401

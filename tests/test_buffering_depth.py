@@ -1,0 +1,156 @@
+"""Property tests for N-stage circular-buffer phase arithmetic.
+
+Satellite requirement: the ring algebra the compiler, finalizer, and
+happens-before engine all share — phase-letter keys, slot partners,
+copy suffixes — must hold for every depth in [2, MAX_PIPELINE_DEPTH],
+not just the double-buffered case the originals pinned.  Hypothesis
+draws random depths and slot indices; a structural check compiles the
+deep fuzz skeleton at random depths and asserts per-slot fill/read and
+arrive/wait balance.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import replace
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.core.compiler.buffering import (
+    MAX_PIPELINE_DEPTH,
+    copy_suffix,
+    phase_suffix,
+)
+from repro.core.compiler.stagesplit import (
+    partner_tile_key,
+    phase_key,
+    ring_depth,
+    tile_ring,
+)
+from repro.fuzz.generator import build_kernel
+from repro.fuzz.spec import generate_spec
+from repro.isa.opcodes import Opcode
+
+depths = st.integers(min_value=2, max_value=MAX_PIPELINE_DEPTH)
+
+_COPY_SUFFIX = re.compile(r"__db\d*$")
+
+
+@given(depth=depths, data=st.data())
+def test_phase_key_round_trips(depth, data):
+    phase = data.draw(st.integers(0, depth - 1))
+    key = phase_key("tile0", phase)
+    assert tile_ring(key) == ("tile0", phase)
+    assert key.endswith(phase_suffix(phase))
+
+
+@given(depth=depths)
+def test_phase_suffixes_are_distinct(depth):
+    suffixes = {phase_suffix(p) for p in range(depth)}
+    copies = {copy_suffix(p) for p in range(depth)}
+    assert len(suffixes) == depth
+    assert len(copies) == depth
+
+
+@given(depth=depths, data=st.data())
+def test_copy_suffix_strips_back_to_base(depth, data):
+    """Every ring copy name collapses onto its base buffer — the rule
+    the sanitizer and racediff share for group canonicalization."""
+    phase = data.draw(st.integers(0, depth - 1))
+    name = "ring_x" + copy_suffix(phase)
+    assert _COPY_SUFFIX.sub("", name) == "ring_x"
+
+
+@given(depth=depths, data=st.data())
+def test_partner_is_previous_slot(depth, data):
+    phase = data.draw(st.integers(0, depth - 1))
+    key = phase_key("tile2", phase)
+    partner = partner_tile_key(key, depth)
+    assert tile_ring(partner) == ("tile2", (phase - 1) % depth)
+
+
+@given(depth=depths)
+def test_partner_walk_cycles_through_every_slot(depth):
+    """Following partners from slot 0 visits all N slots exactly once
+    and returns to the start after N steps (slot/phase round-trip)."""
+    key = phase_key("tile5", 0)
+    seen = []
+    for _ in range(depth):
+        key = partner_tile_key(key, depth)
+        seen.append(key)
+    assert key == phase_key("tile5", 0)
+    assert len(set(seen)) == depth
+
+
+def test_partner_is_an_involution_at_depth_two():
+    """Depth-2 parity: A and B are each other's partners, matching the
+    original double-buffering semantics bit for bit."""
+    a, b = phase_key("tile0", 0), phase_key("tile0", 1)
+    assert partner_tile_key(a, 2) == b
+    assert partner_tile_key(b, 2) == a
+
+
+@given(depth=depths)
+def test_ring_depth_counts_phase_siblings(depth):
+    keys = {phase_key("tile1", p) for p in range(depth)}
+    keys.add("unrelated")
+    for p in range(depth):
+        assert ring_depth(phase_key("tile1", p), keys) == depth
+    assert ring_depth("unrelated", keys) == 1
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    depth=depths,
+    warps=st.integers(min_value=1, max_value=2),
+    mult=st.integers(min_value=1, max_value=2),
+)
+def test_ring_slots_balance_fills_reads_and_barriers(depth, warps, mult):
+    """Push/pop balance per slot: after compiling the deep skeleton at
+    depth N, every ring slot has the same number of fill (LDGSTS) and
+    read (LDS) sites, and each slot's filled/empty barriers pair one
+    arrive side with one wait side."""
+    spec = replace(
+        generate_spec(5),
+        num_warps=warps,
+        warp_width=4,
+        num_tbs=1,
+        tile_elems=warps * 4 * mult,
+        iters=depth + 1,
+    )
+    kernel = build_kernel(spec)
+    result = WaspCompiler(
+        WaspCompilerOptions(
+            pipeline_depth=depth, enable_tma_offload=False
+        )
+    ).compile(kernel.program, num_warps=spec.num_warps)
+    assert result.specialized
+    fills: Counter = Counter()
+    reads: Counter = Counter()
+    arrives: Counter = Counter()
+    waits: Counter = Counter()
+    for instr in result.program.instructions():
+        slot = (instr.attrs.get("smem_buffer"),
+                instr.attrs.get("smem_phase"))
+        if instr.opcode is Opcode.LDGSTS:
+            fills[slot] += 1
+        elif instr.opcode is Opcode.LDS:
+            reads[slot] += 1
+        elif instr.opcode is Opcode.BAR_ARRIVE:
+            arrives[instr.barrier_id] += 1
+        elif instr.opcode is Opcode.BAR_WAIT:
+            waits[instr.barrier_id] += 1
+    for buffer in ("ring_x", "ring_y"):
+        per_slot_fills = [fills[(buffer, p)] for p in range(depth)]
+        per_slot_reads = [reads[(buffer, p)] for p in range(depth)]
+        assert min(per_slot_fills) > 0
+        assert len(set(per_slot_fills)) == 1
+        assert per_slot_reads == per_slot_fills
+    ring_barriers = [b for b in arrives if tile_ring(
+        b.rsplit("_", 1)[0]) is not None]
+    assert ring_barriers
+    for barrier in ring_barriers:
+        assert arrives[barrier] == waits[barrier] == 1

@@ -21,7 +21,8 @@ from repro.fuzz.spec import generate_spec
 #: (mutation, seed with an applicable site, expected dynamic checks,
 #: expected static rule prefix).  Seed skeletons are pinned by the
 #: generator determinism tests: 2 = streaming (queue push/pop sites),
-#: 7 = tiled (arrive/wait barrier sites under TMA offload).
+#: 7 = tiled (arrive/wait barrier sites under TMA offload), 5 = deep
+#: (dual-stream circular-buffer ring).
 CASES = [
     ("drop-pop", 2, {"memory-divergence", "queue-balance", "deadlock"},
      "WASP-Q"),
@@ -35,6 +36,13 @@ CASES = [
     # only the SMEM sanitizer can catch it dynamically — and the
     # static side must see the phase overlap (WASP-S004).
     ("phase-off-by-one", 7, {"sanitizer-race"}, "WASP-S"),
+    # Deep-pipeline corruptions on the dual-stream ring: all three
+    # race without deadlocking (barriers still fire), so the sanitizer
+    # is the only dynamic detector, and the happens-before engine must
+    # flag the mis-rotated slot (WASP-S001/S004).
+    ("skip-slot-advance", 5, {"sanitizer-race"}, "WASP-S"),
+    ("depth-off-by-one", 5, {"sanitizer-race"}, "WASP-S"),
+    ("stale-phase-read", 5, {"sanitizer-race"}, "WASP-S"),
 ]
 
 
@@ -84,6 +92,45 @@ def test_verifier_and_oracle_agree(mutation, seed, checks, rule_prefix):
     # Agreement recorded on the failure itself: the cross-check found
     # static rules for at least one runtime failure.
     assert any(f.verifier_rules for f in oracle.failures)
+
+
+def test_eight_slot_ring_mutants_flagged_by_both_layers():
+    """Acceptance: an 8-slot circular-buffer program compiles, runs
+    clean, and every deep-pipeline mutant is flagged statically (HB
+    engine) and dynamically (vector-clock sanitizer)."""
+    from dataclasses import replace
+
+    from repro.fexec.machine import run_kernel
+
+    # More tiles than ring slots, so the 8-slot ring wraps and slot
+    # reuse is live — the regime the credit protocol must protect.
+    kernel = build_kernel(replace(generate_spec(5), iters=12))
+    result = WaspCompiler(
+        WaspCompilerOptions(pipeline_depth=8, enable_tma_offload=False)
+    ).compile(kernel.program, num_warps=kernel.launch.num_warps)
+    assert result.specialized
+    assert not verify_program(result.program).errors
+    launch = replace(
+        kernel.launch,
+        num_warps=kernel.launch.num_warps * result.num_stages,
+    )
+    clean = run_kernel(
+        result.program, kernel.image_factory(), launch, sanitize=True
+    )
+    assert clean.races == []
+    for mutation in (
+        "skip-slot-advance", "depth-off-by-one", "stale-phase-read"
+    ):
+        mutated = apply_mutation(result.program, mutation)
+        assert mutated is not None, f"no {mutation} site at depth 8"
+        report = verify_program(mutated)
+        assert any(
+            d.rule.startswith("WASP-S") for d in report.errors
+        ), f"HB engine blind to {mutation} at depth 8"
+        run = run_kernel(
+            mutated, kernel.image_factory(), launch, sanitize=True
+        )
+        assert run.races, f"sanitizer blind to {mutation} at depth 8"
 
 
 def test_mutations_return_none_without_a_site():

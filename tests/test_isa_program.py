@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.specs import ThreadBlockSpec
 from repro.errors import ValidationError
 from repro.isa import Instruction, Opcode, ProgramBuilder
 from repro.isa.program import Program
@@ -112,3 +113,57 @@ def test_max_predicate_index():
     blk = empty.block("entry")
     blk.append(Instruction(Opcode.EXIT))
     assert empty.max_predicate_index() == -1
+
+
+def _ring_program(initial_a: int, initial_b: int) -> Program:
+    """Minimal two-slot ring program with configurable empty credit."""
+    prog = Program("ring")
+    blk = prog.block("entry")
+    blk.append(Instruction(Opcode.EXIT))
+    prog.tb_spec = ThreadBlockSpec(
+        num_stages=2,
+        warps_per_stage=[[0], [1]],
+        stage_registers=[8, 8],
+        barrier_expected={
+            "tile0_A_empty": 1, "tile0_B_empty": 1,
+            "tile0_A_filled": 1, "tile0_B_filled": 1,
+        },
+        barrier_initial={
+            "tile0_A_empty": initial_a, "tile0_B_empty": initial_b,
+        },
+    )
+    return prog
+
+
+def test_ring_credit_within_slots_accepted():
+    """The legal protocol: N−1 explicit credit generations for N slots
+    (and even N, phase-off-by-one's territory, stays a runtime/HB
+    matter — validate only rejects credit *exceeding* the slots)."""
+    _ring_program(1, 0).validate()
+    _ring_program(1, 1).validate()
+
+
+def test_ring_credit_deeper_than_slots_rejected():
+    """Regression (WASP-R007): ``validate`` used to accept a ring
+    credited with more generations than it has SMEM slots — a spec
+    that lets the producer overwrite a slot nobody released."""
+    prog = _ring_program(2, 1)
+    with pytest.raises(ValidationError) as err:
+        prog.validate()
+    assert any(d.rule == "WASP-R007" for d in err.value.diagnostics)
+
+
+def test_ring_credit_rule_ignores_non_ring_barriers():
+    """Barriers outside the ``<base>_<letter>_empty`` shape never
+    trip the ring-credit rule, whatever their credit."""
+    prog = Program("plain")
+    blk = prog.block("entry")
+    blk.append(Instruction(Opcode.EXIT))
+    prog.tb_spec = ThreadBlockSpec(
+        num_stages=1,
+        warps_per_stage=[[0]],
+        stage_registers=[8],
+        barrier_expected={"handoff_empty": 1, "go": 2},
+        barrier_initial={"handoff_empty": 7, "go": 6},
+    )
+    prog.validate()

@@ -184,6 +184,29 @@ def test_program_round_trip_preserves_tb_spec():
     assert spec.barrier_initial == orig.barrier_initial
 
 
+def test_program_round_trip_deep_pipeline():
+    """A deep circular-buffer program (8-slot ring, per-slot phase
+    barriers and ``__db{k}`` buffer copies) survives the round trip
+    with its canonical encoding and ring metadata intact."""
+    kernel = build_kernel(generate_spec(5))  # every sixth seed is deep
+    result = WaspCompiler(
+        WaspCompilerOptions(pipeline_depth=8, enable_tma_offload=False)
+    ).compile(kernel.program, num_warps=kernel.launch.num_warps)
+    assert result.specialized
+    doc = encode_program(result.program)
+    back = decode_program(json.loads(json.dumps(doc)))
+    assert back.canonical_encoding() == result.program.canonical_encoding()
+    assert encode_program(back) == doc
+    # The per-slot ring state is part of the round trip: all eight
+    # phase-letter empty barriers and the slot-1..7 buffer copies.
+    empties = {b for b in back.tb_spec.barrier_expected
+               if b.endswith("_empty")}
+    assert {f"tile0_{letter}_empty" for letter in "ABCDEFGH"} <= empties
+    assert back.tb_spec.barrier_initial == result.program.tb_spec.barrier_initial
+    copies = {name for name in back.smem_buffers if "__db" in name}
+    assert len(copies) >= 7
+
+
 def test_decode_rejects_wrong_version():
     doc = encode_program(build_kernel(generate_spec(0)).program)
     doc["version"] = 999
