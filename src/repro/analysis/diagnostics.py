@@ -34,7 +34,7 @@ class Severity(enum.Enum):
 
 #: Rule catalogue: id -> (default severity, one-line description).
 #: Families: C = CFG/structure, Q = queue protocol, D = deadlock/barrier,
-#: S = shared-memory races, R = resources.
+#: S = shared-memory races, R = resources, T = translation validation.
 RULES: dict[str, tuple[Severity, str]] = {
     # -- CFG / structural hygiene ---------------------------------------
     "WASP-C001": (Severity.ERROR, "program has no basic blocks"),
@@ -128,6 +128,23 @@ RULES: dict[str, tuple[Severity, str]] = {
                   "circular-buffer ring credited deeper than its slots: "
                   "initial empty-barrier credit admits more buffer "
                   "generations than the ring has SMEM copies"),
+    # -- translation validation --------------------------------------------
+    "WASP-T001": (Severity.ERROR,
+                  "global store in the specialized program has no "
+                  "matching source store (or a source store was lost in "
+                  "specialization)"),
+    "WASP-T002": (Severity.ERROR,
+                  "store address matches the source but the value "
+                  "threaded through a queue / shared buffer differs "
+                  "(or queue pushes and pops do not pair up)"),
+    "WASP-T003": (Severity.ERROR,
+                  "ring-slot aliasing or missing ordering breaks the "
+                  "simulation relation: the happens-before engine cannot "
+                  "order accesses the equivalence proof relies on"),
+    "WASP-T004": (Severity.WARNING,
+                  "translation validator abstained: the program is "
+                  "outside the validator's fragment, so equivalence is "
+                  "unproven (not disproven)"),
 }
 
 

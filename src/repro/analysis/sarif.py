@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.analysis.diagnostics import RULES, Diagnostic, Severity
-from repro.analysis.lint import LintResult
+from repro.analysis.lint import LintResult, ValidateResult
 
 SARIF_VERSION = "2.1.0"
 SARIF_SCHEMA_URI = (
@@ -71,20 +71,16 @@ def _result(diag: Diagnostic, rule_index: dict[str, int]) -> dict[str, Any]:
     return result
 
 
-def sarif_from_lint(result: LintResult) -> dict[str, Any]:
-    """One SARIF 2.1.0 log for a whole ``repro lint`` run."""
-    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(RULES))}
-    results: list[dict[str, Any]] = []
-    for kernel in result.kernels:
-        for diag in kernel.report:
-            results.append(_result(diag, rule_index))
+def _sarif_document(
+    tool_name: str, results: list[dict[str, Any]]
+) -> dict[str, Any]:
     return {
         "$schema": SARIF_SCHEMA_URI,
         "version": SARIF_VERSION,
         "runs": [{
             "tool": {
                 "driver": {
-                    "name": "repro-lint",
+                    "name": tool_name,
                     "rules": _rule_descriptors(),
                 }
             },
@@ -92,3 +88,29 @@ def sarif_from_lint(result: LintResult) -> dict[str, Any]:
             "results": results,
         }],
     }
+
+
+def sarif_from_lint(result: LintResult) -> dict[str, Any]:
+    """One SARIF 2.1.0 log for a whole ``repro lint`` run."""
+    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(RULES))}
+    results: list[dict[str, Any]] = []
+    for kernel in result.kernels:
+        for diag in kernel.report:
+            results.append(_result(diag, rule_index))
+    return _sarif_document("repro-lint", results)
+
+
+def sarif_from_validate(result: ValidateResult) -> dict[str, Any]:
+    """One SARIF 2.1.0 log for a whole ``repro validate`` run.
+
+    WASP-T diagnostics export exactly like the verifier families: the
+    rule catalogue in ``tool.driver.rules`` already carries T001–T004,
+    so code-scanning UIs render translation-validation findings with
+    no extra plumbing.
+    """
+    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(RULES))}
+    results: list[dict[str, Any]] = []
+    for kernel in result.kernels:
+        for diag in kernel.report:
+            results.append(_result(diag, rule_index))
+    return _sarif_document("repro-transval", results)

@@ -1,0 +1,545 @@
+"""Normalized symbolic expressions for translation validation.
+
+The validator compares the memory effects of the source kernel and the
+warp-specialized program *structurally*: both sides are walked with the
+same symbolic evaluator (mirroring :mod:`repro.fexec.machine` semantics
+exactly) and every value is rebuilt through the normalizing smart
+constructors below, so semantically identical computations collapse to
+identical trees and plain ``==`` decides equivalence.
+
+Normal form: n-ary ``add``/``mul`` with constants folded, products
+distributed over sums and like terms collected, so affine address
+arithmetic — the bread and butter of tile/stream kernels — lands in a
+canonical sum-of-products shape.  Everything the machine computes with
+floor/bit semantics (``shl``, ``idiv``, …) stays opaque but is folded
+exactly when all operands are constant, using the very same formulas as
+the functional executor.
+
+Loop-carried structure is expressed with dedicated nodes:
+
+``LoopIdx(loop)``
+    The current iteration index of ``loop`` (0-based).  Loop identity is
+    the *stripped* head-block label (stage prefix and ``__db<k>`` ring
+    suffix removed), which is stable across the source, the stage
+    sections and the unrolled ring copies.
+``RecPhi(loop, slot)`` / ``RecExit(loop, slot)``
+    A genuine loop-carried recurrence value at iteration entry / after
+    the loop.  The per-loop recurrence systems (inits + per-copy deltas)
+    live in the walk summary, not in the nodes; slots are matched by
+    bijection at comparison time.
+``Trip(loop)``
+    The number of iterations ``loop`` executed (opaque; equal on both
+    sides because exit conditions are cloned, and checked separately).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Sym",
+    "LoopIdx",
+    "Trip",
+    "RecPhi",
+    "RecExit",
+    "Marker",
+    "GLoad",
+    "SLoad",
+    "Op",
+    "Unknown",
+    "add",
+    "mul",
+    "op2",
+    "cmp",
+    "ite",
+    "negate",
+    "unary",
+    "warpsum",
+    "subst_loop",
+    "rewrite",
+    "contains_marker",
+    "first_unknown",
+    "stable_repr",
+    "digest",
+]
+
+
+class Expr:
+    """Base class for all symbolic expression nodes (frozen, hashable)."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    value: float
+
+
+@dataclass(frozen=True, slots=True)
+class Sym(Expr):
+    """A free symbolic input: lane id, warp id, thread-block id, …"""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class LoopIdx(Expr):
+    loop: str
+
+
+@dataclass(frozen=True, slots=True)
+class Trip(Expr):
+    loop: str
+
+
+@dataclass(frozen=True, slots=True)
+class RecPhi(Expr):
+    loop: str
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class RecExit(Expr):
+    loop: str
+    slot: int
+
+
+@dataclass(frozen=True, slots=True)
+class Marker(Expr):
+    """Internal loop-entry placeholder used during classification.
+
+    Markers must never survive into a final summary — a leaked marker
+    means the walker could not resolve a loop-entry value and the
+    validator abstains (WASP-T004).
+    """
+
+    tag: str
+
+
+@dataclass(frozen=True, slots=True)
+class GLoad(Expr):
+    """A load from (initial) global memory at a symbolic address."""
+
+    addr: "Expr"
+
+
+@dataclass(frozen=True, slots=True)
+class SLoad(Expr):
+    """An unresolved shared-memory read.
+
+    Carries the ordered write set of the staging scope it reads from so
+    cooperative (lane-partitioned writer vs element-addressed reader)
+    staging patterns compare as "same parametric write set" without
+    per-element alias reasoning.
+    """
+
+    family: str
+    addr: "Expr"
+    writes: tuple[tuple["Expr", "Expr"], ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Op(Expr):
+    op: str
+    args: tuple["Expr", ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Unknown(Expr):
+    reason: str
+
+
+# -- ordering ------------------------------------------------------------
+
+_RANK = {
+    Const: 0,
+    Sym: 1,
+    LoopIdx: 2,
+    Trip: 3,
+    RecPhi: 4,
+    RecExit: 5,
+    Marker: 6,
+    GLoad: 7,
+    SLoad: 8,
+    Op: 9,
+    Unknown: 10,
+}
+
+
+def _key(e: Expr) -> tuple:
+    """Deterministic structural sort key."""
+    if isinstance(e, Const):
+        return (0, e.value)
+    if isinstance(e, Sym):
+        return (1, e.name)
+    if isinstance(e, LoopIdx):
+        return (2, e.loop)
+    if isinstance(e, Trip):
+        return (3, e.loop)
+    if isinstance(e, RecPhi):
+        return (4, e.loop, e.slot)
+    if isinstance(e, RecExit):
+        return (5, e.loop, e.slot)
+    if isinstance(e, Marker):
+        return (6, e.tag)
+    if isinstance(e, GLoad):
+        return (7, _key(e.addr))
+    if isinstance(e, SLoad):
+        return (8, e.family, _key(e.addr), len(e.writes))
+    if isinstance(e, Op):
+        return (9, e.op, tuple(_key(a) for a in e.args))
+    assert isinstance(e, Unknown)
+    return (10, e.reason)
+
+
+_COMMUTATIVE = frozenset({"add", "mul", "and", "or", "min", "max", "eq", "ne"})
+
+_NEGATED_CMP = {
+    "lt": "ge",
+    "ge": "lt",
+    "le": "gt",
+    "gt": "le",
+    "eq": "ne",
+    "ne": "eq",
+}
+
+
+def _unknown_in(args: tuple[Expr, ...]) -> Unknown | None:
+    for a in args:
+        if isinstance(a, Unknown):
+            return a
+    return None
+
+
+# -- constant folding (exact machine semantics) --------------------------
+
+
+def _fold(op: str, vals: list[float]) -> float:
+    import math
+
+    if op == "idiv":
+        b = vals[1] if vals[1] != 0 else 1.0
+        return math.floor(vals[0] / b)
+    if op == "shl":
+        return math.floor(vals[0]) * (2.0 ** math.floor(vals[1]))
+    if op == "shr":
+        return math.floor(math.floor(vals[0]) / (2.0 ** math.floor(vals[1])))
+    if op == "and":
+        return float(int(vals[0]) & int(vals[1]))
+    if op == "or":
+        return float(int(vals[0]) | int(vals[1]))
+    if op == "min":
+        return min(vals)
+    if op == "max":
+        return max(vals)
+    if op == "frcp":
+        return 1.0 / vals[0] if vals[0] != 0 else 0.0
+    if op == "not":
+        return 0.0 if vals[0] else 1.0
+    if op in _NEGATED_CMP:
+        a, b = vals
+        res = {
+            "lt": a < b,
+            "le": a <= b,
+            "gt": a > b,
+            "ge": a >= b,
+            "eq": a == b,
+            "ne": a != b,
+        }[op]
+        return 1.0 if res else 0.0
+    raise AssertionError(f"unfoldable op {op}")
+
+
+# -- smart constructors --------------------------------------------------
+
+
+def add(*args: Expr) -> Expr:
+    """Normalized n-ary sum: flatten, fold constants, collect like terms."""
+    bad = _unknown_in(tuple(args))
+    if bad is not None:
+        return bad
+    flat: list[Expr] = []
+    for a in args:
+        if isinstance(a, Op) and a.op == "add":
+            flat.extend(a.args)
+        else:
+            flat.append(a)
+    const = 0.0
+    terms: dict[tuple, tuple[float, tuple[Expr, ...]]] = {}
+    for a in flat:
+        if isinstance(a, Const):
+            const += a.value
+            continue
+        coeff, factors = _term(a)
+        k = tuple(_key(f) for f in factors)
+        if k in terms:
+            prev, _ = terms[k]
+            terms[k] = (prev + coeff, factors)
+        else:
+            terms[k] = (coeff, factors)
+    out: list[Expr] = []
+    for coeff, factors in terms.values():
+        if coeff == 0.0:
+            continue
+        out.append(_build_term(coeff, factors))
+    if const != 0.0 or not out:
+        out.append(Const(const))
+    out.sort(key=_key)
+    if len(out) == 1:
+        return out[0]
+    return Op("add", tuple(out))
+
+
+def _term(e: Expr) -> tuple[float, tuple[Expr, ...]]:
+    """Decompose into (constant coefficient, sorted non-const factors)."""
+    if isinstance(e, Op) and e.op == "mul":
+        coeff = 1.0
+        factors: list[Expr] = []
+        for f in e.args:
+            if isinstance(f, Const):
+                coeff *= f.value
+            else:
+                factors.append(f)
+        factors.sort(key=_key)
+        return coeff, tuple(factors)
+    return 1.0, (e,)
+
+
+def _build_term(coeff: float, factors: tuple[Expr, ...]) -> Expr:
+    if not factors:
+        return Const(coeff)
+    if coeff == 1.0 and len(factors) == 1:
+        return factors[0]
+    parts: list[Expr] = []
+    if coeff != 1.0:
+        parts.append(Const(coeff))
+    parts.extend(factors)
+    if len(parts) == 1:
+        return parts[0]
+    return Op("mul", tuple(sorted(parts, key=_key)))
+
+
+def mul(*args: Expr) -> Expr:
+    """Normalized n-ary product, fully distributed over sums."""
+    bad = _unknown_in(tuple(args))
+    if bad is not None:
+        return bad
+    flat: list[Expr] = []
+    for a in args:
+        if isinstance(a, Op) and a.op == "mul":
+            flat.extend(a.args)
+        else:
+            flat.append(a)
+    const = 1.0
+    rest: list[Expr] = []
+    for a in flat:
+        if isinstance(a, Const):
+            const *= a.value
+        else:
+            rest.append(a)
+    if const == 0.0:
+        return Const(0.0)
+    sums = [a for a in rest if isinstance(a, Op) and a.op == "add"]
+    if sums:
+        # Distribute: expand the product of sums into a sum of products.
+        products: list[list[Expr]] = [[]]
+        for a in rest:
+            if isinstance(a, Op) and a.op == "add":
+                products = [p + [t] for p in products for t in a.args]
+            else:
+                products = [p + [a] for p in products]
+        return add(*[mul(Const(const), *p) for p in products])
+    if not rest:
+        return Const(const)
+    return _build_term(const, tuple(sorted(rest, key=_key)))
+
+
+def op2(op: str, a: Expr, b: Expr) -> Expr:
+    """Opaque binary op (``idiv``/``shl``/``shr``/``and``/``or``/…)."""
+    bad = _unknown_in((a, b))
+    if bad is not None:
+        return bad
+    if isinstance(a, Const) and isinstance(b, Const):
+        return Const(_fold(op, [a.value, b.value]))
+    args = (a, b)
+    if op in _COMMUTATIVE:
+        args = tuple(sorted(args, key=_key))  # type: ignore[assignment]
+    return Op(op, args)
+
+
+def cmp(op: str, a: Expr, b: Expr) -> Expr:
+    bad = _unknown_in((a, b))
+    if bad is not None:
+        return bad
+    if isinstance(a, Const) and isinstance(b, Const):
+        return Const(_fold(op, [a.value, b.value]))
+    if op in ("eq", "ne"):
+        a, b = sorted((a, b), key=_key)
+    return Op(op, (a, b))
+
+
+def ite(c: Expr, t: Expr, f: Expr) -> Expr:
+    """``where(bool(c), t, f)`` — models SEL and predicated writeback."""
+    if isinstance(c, Unknown):
+        return c
+    if isinstance(c, Const):
+        return t if c.value else f
+    if t == f:
+        return t
+    bad = _unknown_in((t, f))
+    if bad is not None:
+        return bad
+    return Op("ite", (c, t, f))
+
+
+def negate(e: Expr) -> Expr:
+    """Logical negation, pushed into comparisons."""
+    if isinstance(e, Unknown):
+        return e
+    if isinstance(e, Const):
+        return Const(0.0 if e.value else 1.0)
+    if isinstance(e, Op):
+        if e.op in _NEGATED_CMP:
+            return Op(_NEGATED_CMP[e.op], e.args)
+        if e.op == "not":
+            return e.args[0]
+    return Op("not", (e,))
+
+
+def unary(op: str, a: Expr) -> Expr:
+    if isinstance(a, Unknown):
+        return a
+    if isinstance(a, Const) and op in ("frcp", "not"):
+        return Const(_fold(op, [a.value]))
+    return Op(op, (a,))
+
+
+def warpsum(a: Expr) -> Expr:
+    """REDUX: sum over lanes, broadcast to the warp (opaque)."""
+    if isinstance(a, Unknown):
+        return a
+    return Op("warpsum", (a,))
+
+
+# -- rewriting -----------------------------------------------------------
+
+
+def rewrite(e: Expr, fn) -> Expr:
+    """Bottom-up rewrite through the normalizing constructors.
+
+    ``fn(node)`` is applied to each *leaf-level* node after its children
+    have been rewritten; returning the node unchanged is the common
+    case.  Interior ``Op`` nodes are rebuilt via the smart constructors
+    so the result stays in normal form.
+    """
+    if isinstance(e, Op):
+        args = [rewrite(a, fn) for a in e.args]
+        if e.op == "add":
+            return fn(add(*args))
+        if e.op == "mul":
+            return fn(mul(*args))
+        if e.op == "ite":
+            return fn(ite(args[0], args[1], args[2]))
+        if e.op == "not":
+            return fn(negate(args[0]))
+        if e.op in ("warpsum", "frcp"):
+            built = unary(e.op, args[0]) if e.op == "frcp" else warpsum(args[0])
+            return fn(built)
+        if len(args) == 2 and e.op in _NEGATED_CMP:
+            return fn(cmp(e.op, args[0], args[1]))
+        if len(args) == 2:
+            return fn(op2(e.op, args[0], args[1]))
+        return fn(Op(e.op, tuple(args)))
+    if isinstance(e, GLoad):
+        return fn(GLoad(rewrite(e.addr, fn)))
+    if isinstance(e, SLoad):
+        return fn(SLoad(
+            e.family,
+            rewrite(e.addr, fn),
+            tuple(
+                (rewrite(a, fn), rewrite(v, fn)) for a, v in e.writes
+            ),
+        ))
+    return fn(e)
+
+
+def subst_loop(e: Expr, loop: str, repl: Expr) -> Expr:
+    """Replace ``LoopIdx(loop)`` with ``repl`` and renormalize."""
+
+    def fn(node: Expr) -> Expr:
+        if isinstance(node, LoopIdx) and node.loop == loop:
+            return repl
+        return node
+
+    return rewrite(e, fn)
+
+
+def contains_marker(e: Expr) -> bool:
+    found = False
+
+    def fn(node: Expr) -> Expr:
+        nonlocal found
+        if isinstance(node, Marker):
+            found = True
+        return node
+
+    rewrite(e, fn)
+    return found
+
+
+def first_unknown(e: Expr) -> Unknown | None:
+    """The first ``Unknown`` node in ``e`` (Unknowns absorb, so it is
+    usually ``e`` itself), or ``None``."""
+    if isinstance(e, Unknown):
+        return e
+    hit: list[Unknown] = []
+
+    def fn(node: Expr) -> Expr:
+        if isinstance(node, Unknown) and not hit:
+            hit.append(node)
+        return node
+
+    rewrite(e, fn)
+    return hit[0] if hit else None
+
+
+# -- display -------------------------------------------------------------
+
+
+def stable_repr(e: Expr) -> str:
+    """Deterministic, serializer-independent text form."""
+    if isinstance(e, Const):
+        v = e.value
+        return str(int(v)) if v == int(v) else repr(v)
+    if isinstance(e, Sym):
+        return e.name.lower()
+    if isinstance(e, LoopIdx):
+        return f"i[{e.loop}]"
+    if isinstance(e, Trip):
+        return f"trip[{e.loop}]"
+    if isinstance(e, RecPhi):
+        return f"rec[{e.loop}#{e.slot}]"
+    if isinstance(e, RecExit):
+        return f"recout[{e.loop}#{e.slot}]"
+    if isinstance(e, Marker):
+        return f"<marker:{e.tag}>"
+    if isinstance(e, GLoad):
+        return f"gmem[{stable_repr(e.addr)}]"
+    if isinstance(e, SLoad):
+        w = ",".join(
+            f"{stable_repr(a)}:={stable_repr(v)}" for a, v in e.writes
+        )
+        return f"smem<{e.family}>[{stable_repr(e.addr)} | {w}]"
+    if isinstance(e, Op):
+        inner = " ".join(stable_repr(a) for a in e.args)
+        return f"({e.op} {inner})"
+    assert isinstance(e, Unknown)
+    return f"<unknown:{e.reason}>"
+
+
+def digest(e: Expr) -> str:
+    """Short stable digest of an expression (for reports/telemetry)."""
+    return hashlib.sha256(stable_repr(e).encode()).hexdigest()[:12]

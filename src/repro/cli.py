@@ -10,6 +10,8 @@ Examples::
     python -m repro fig14 --profile --trace-out fig14.json
     python -m repro lint --all --json-out lint.json
     python -m repro lint pointnet bert
+    python -m repro validate --all --options standard --depths 2,4,8
+    python -m repro validate --corpus
     python -m repro fuzz --seeds 200 --jobs 4
     python -m repro fuzz --seeds 50 --inject drop-push --expect-failures
     python -m repro fuzz --corpus
@@ -239,9 +241,86 @@ def build_lint_parser() -> argparse.ArgumentParser:
         help="also list kernels that verified clean",
     )
     parser.add_argument(
+        "--validate", action="store_true",
+        help="also run the translation validator on each compile and "
+             "merge its WASP-T findings into the report",
+    )
+    parser.add_argument(
+        "--corpus", action="store_true",
+        help="lint the committed fuzz-corpus kernels (tests/corpus/) "
+             "instead of the benchmark registry",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="corpus directory (default: tests/corpus/)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true",
-        help="print the WASP-C/Q/D/S/R rule catalogue (id, severity, "
+        help="print the WASP-C/Q/D/S/R/T rule catalogue (id, severity, "
              "description) and exit without linting anything",
+    )
+    return parser
+
+
+def build_validate_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro validate",
+        description="Translation validation: prove each WASP compile "
+                    "equivalent to its source kernel without executing "
+                    "either — symbolic effect summaries, ring-slot "
+                    "residue matching, and queue value threading.  "
+                    "Exits non-zero on any not-equivalent verdict OR "
+                    "any abstention (an uncertified compile is a "
+                    "finding, never a silent pass).",
+    )
+    parser.add_argument(
+        "benchmarks", nargs="*",
+        help="benchmark names to validate (default with --all or no "
+             "names: every registered benchmark)",
+    )
+    parser.add_argument(
+        "--all", action="store_true",
+        help="validate every registered benchmark (explicit form of "
+             "the no-argument default, for scripts)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=0.25,
+        help="workload scale factor (default 0.25; verdicts are "
+             "scale-independent for all current workloads)",
+    )
+    parser.add_argument(
+        "--depths", default="2", metavar="D[,D…]",
+        help="comma-separated circular-buffer ring depths to validate "
+             "at (default: 2; CI sweeps 2,4,8)",
+    )
+    parser.add_argument(
+        "--options", default="full", metavar="SET[,SET…]",
+        help="comma-separated compiler option sets to cross with "
+             "--depths: sw-queues, full, two-stage, tiny-queues, or "
+             "'standard' for all four (default: full)",
+    )
+    parser.add_argument(
+        "--corpus", action="store_true",
+        help="validate the committed fuzz corpus (tests/corpus/) "
+             "instead of the registry; injected-corruption entries "
+             "must be statically flagged not-equivalent",
+    )
+    parser.add_argument(
+        "--corpus-dir", default=None, metavar="DIR",
+        help="corpus directory (default: tests/corpus/)",
+    )
+    parser.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write the full validation report as JSON (CI archives "
+             "this as an artifact)",
+    )
+    parser.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write the findings as a SARIF 2.1.0 log",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true",
+        help="also list compiles that certified equivalent",
     )
     return parser
 
@@ -1035,21 +1114,32 @@ def run_lint(argv: list[str]) -> int:
         print("\n".join(rules_table_lines()))
         return 0
 
-    from repro.analysis.lint import lint_benchmarks
-    from repro.workloads.registry import all_benchmarks
-
-    known = set(all_benchmarks())
-    names = None if args.all or not args.benchmarks else args.benchmarks
-    if names:
-        unknown = [n for n in names if n not in known]
-        if unknown:
-            raise SystemExit(
-                f"unknown benchmark(s) {unknown}; choose from: "
-                + ", ".join(sorted(known))
-            )
-
     start = time.time()
-    result = lint_benchmarks(names, scale=args.scale)
+    if args.corpus:
+        from pathlib import Path
+
+        from repro.analysis.lint import lint_corpus
+
+        corpus_dir = Path(args.corpus_dir) if args.corpus_dir else None
+        result = lint_corpus(corpus_dir, validate=args.validate)
+    else:
+        from repro.analysis.lint import lint_benchmarks
+        from repro.workloads.registry import all_benchmarks
+
+        known = set(all_benchmarks())
+        names = (
+            None if args.all or not args.benchmarks else args.benchmarks
+        )
+        if names:
+            unknown = [n for n in names if n not in known]
+            if unknown:
+                raise SystemExit(
+                    f"unknown benchmark(s) {unknown}; choose from: "
+                    + ", ".join(sorted(known))
+                )
+        result = lint_benchmarks(
+            names, scale=args.scale, validate=args.validate
+        )
     print(result.to_text(verbose=args.verbose))
     print(f"[linted {len(result.kernels)} kernel(s) in "
           f"{time.time() - start:.1f}s]")
@@ -1068,6 +1158,74 @@ def run_lint(argv: list[str]) -> int:
     if args.strict and result.num_warnings:
         return 1
     return 0
+
+
+def run_validate(argv: list[str]) -> int:
+    """``repro validate``: execution-free equivalence certificates."""
+    args = build_validate_parser().parse_args(argv)
+
+    start = time.time()
+    if args.corpus:
+        from pathlib import Path
+
+        from repro.analysis.lint import validate_corpus
+
+        corpus_dir = Path(args.corpus_dir) if args.corpus_dir else None
+        result = validate_corpus(corpus_dir)
+    else:
+        from repro.analysis.lint import (
+            standard_option_sets,
+            validate_benchmarks,
+        )
+        from repro.workloads.registry import all_benchmarks
+
+        known = set(all_benchmarks())
+        names = (
+            None if args.all or not args.benchmarks else args.benchmarks
+        )
+        if names:
+            unknown = [n for n in names if n not in known]
+            if unknown:
+                raise SystemExit(
+                    f"unknown benchmark(s) {unknown}; choose from: "
+                    + ", ".join(sorted(known))
+                )
+        try:
+            depths = tuple(
+                int(d) for d in args.depths.split(",") if d
+            )
+        except ValueError:
+            raise SystemExit(f"bad --depths value {args.depths!r}")
+        standard = dict(standard_option_sets())
+        wanted = args.options.split(",")
+        if "standard" in wanted:
+            wanted = list(standard)
+        unknown_sets = [w for w in wanted if w not in standard]
+        if unknown_sets:
+            raise SystemExit(
+                f"unknown option set(s) {unknown_sets}; choose from: "
+                + ", ".join([*standard, "standard"])
+            )
+        result = validate_benchmarks(
+            names,
+            scale=args.scale,
+            option_sets=[(w, standard[w]) for w in wanted],
+            depths=depths,
+        )
+    print(result.to_text(verbose=args.verbose))
+    print(f"[validated {len(result.kernels)} compile(s) in "
+          f"{time.time() - start:.1f}s]")
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            json.dump(result.to_json(), handle, indent=2)
+        print(f"[wrote validation JSON to {args.json_out}]")
+    if args.sarif:
+        from repro.analysis.sarif import sarif_from_validate
+
+        with open(args.sarif, "w", encoding="utf-8") as handle:
+            json.dump(sarif_from_validate(result), handle, indent=2)
+        print(f"[wrote SARIF log to {args.sarif}]")
+    return 0 if result.clean else 1
 
 
 def _configure_cache(args: argparse.Namespace) -> None:
@@ -1317,6 +1475,8 @@ def main(argv: list[str] | None = None) -> int:
         return run_profile(argv[1:])
     if argv and argv[0] == "lint":
         return run_lint(argv[1:])
+    if argv and argv[0] == "validate":
+        return run_validate(argv[1:])
     if argv and argv[0] == "fuzz":
         return run_fuzz_cli(argv[1:])
     if argv and argv[0] == "advise":
@@ -1340,6 +1500,8 @@ def main(argv: list[str] | None = None) -> int:
               "(repro profile --help)")
         print("  lint      Static pipeline verifier "
               "(repro lint --help)")
+        print("  validate  Translation validation certificates "
+              "(repro validate --help)")
         print("  fuzz      Differential fuzzing harness "
               "(repro fuzz --help)")
         print("  advise    Analytical pipeline advisor "

@@ -65,6 +65,11 @@ class WaspCompilerOptions:
     #: findings.  Opt-out: ``repro lint`` disables it to report findings
     #: instead of raising.
     verify: bool = True
+    #: Run translation validation after compiling: raise on a
+    #: ``not-equivalent`` verdict (WASP-T errors).  Abstention never
+    #: raises — it is a coverage statement, surfaced on the result.
+    #: Opt-out like ``verify``.
+    validate: bool = True
 
     def __post_init__(self) -> None:
         if not 2 <= self.pipeline_depth <= MAX_PIPELINE_DEPTH:
@@ -85,6 +90,7 @@ class WaspCompilerOptions:
             "queue_size": self.queue_size,
             "smem_capacity_words": self.smem_capacity_words,
             "verify": self.verify,
+            "validate": self.validate,
         }
 
     @staticmethod
@@ -131,6 +137,9 @@ class CompileResult:
     #: Static-verifier findings over the compiled program (empty when
     #: verification is disabled or found nothing).
     diagnostics: list = field(default_factory=list)
+    #: Translation-validation report (None when validation is disabled
+    #: or the compile was not specialized).
+    transval: object | None = None
 
     @property
     def uniform_registers(self) -> int:
@@ -246,6 +255,13 @@ class WaspCompiler:
             from repro.analysis.verifier import verify_or_raise
 
             diagnostics = list(verify_or_raise(combined))
+        transval = None
+        if opts.validate:
+            from repro.analysis.transval import validate_or_raise
+
+            transval = validate_or_raise(
+                program, combined, assume_verified=opts.verify
+            )
         return self._emit(CompileResult(
             original=program,
             program=combined,
@@ -259,6 +275,7 @@ class WaspCompiler:
             offload=offload,
             dropped_stages=dropped,
             diagnostics=diagnostics,
+            transval=transval,
         ))
 
 

@@ -17,7 +17,14 @@ For one generated spec the oracle:
    :mod:`repro.fuzz.metamorphic`;
 6. cross-checks every failure against the static verifier, so a
    runtime-caught bug that the verifier misses is reported as a
-   verifier blind spot (a rule it should have had).
+   verifier blind spot (a rule it should have had);
+7. runs the translation validator over every compiled (and, under
+   ``inject``, mutated) variant and demands static/dynamic agreement:
+   a ``not-equivalent`` verdict on a clean compile the functional
+   checks accept is ``transval-disagreement``, and an ``equivalent``
+   verdict on a program the functional checks reject is
+   ``transval-false-equivalent`` — the validator must never certify a
+   broken program.
 
 Passing verdicts are persisted content-addressed in the trace store
 (``.repro_cache/`` by default), so repeated fuzz runs over identical
@@ -47,7 +54,11 @@ from repro.workloads.base import Kernel
 #: v2: passing verdicts carry W-level verifier warnings (e.g. WASP-Q006)
 #: so cached seeds still surface them in per-seed reports.
 #: v3: deep-ring variant compiles every spec at pipeline_depth=4.
-ORACLE_VERSION = 3
+#: v4: translation-validation cross-check — every compiled variant's
+#: static verdict is recorded in the cached payload and must agree
+#: with the functional oracle (``transval-disagreement`` /
+#: ``transval-false-equivalent`` failures otherwise).
+ORACLE_VERSION = 4
 
 #: Deterministic compiler option tuples every spec is compiled under.
 OPTION_SETS: tuple[tuple[str, WaspCompilerOptions], ...] = (
@@ -166,6 +177,10 @@ class OracleReport:
     #: W-level verifier diagnostics per compiled variant (see
     #: :class:`FuzzWarning`); populated on cache hits too.
     warnings: list[FuzzWarning] = field(default_factory=list)
+    #: Translation-validation verdict per compiled variant name
+    #: (``equivalent`` / ``not-equivalent`` / ``abstain``); part of the
+    #: cached passing payload so cache hits keep the certificates.
+    transval_verdicts: dict[str, str] = field(default_factory=dict)
     from_cache: bool = False
 
     @property
@@ -282,6 +297,9 @@ def run_oracle(
                 FuzzWarning.from_json(doc)
                 for doc in payload.get("warnings", [])
             ]
+            report.transval_verdicts = dict(
+                payload.get("transval_verdicts", {})
+            )
             return report
 
     reference = kernel.image_factory()
@@ -306,6 +324,7 @@ def run_oracle(
             key, [], fuzz_verdict="pass",
             specialized_under=report.specialized_under,
             warnings=[w.to_json() for w in report.warnings],
+            transval_verdicts=dict(report.transval_verdicts),
         )
     return report
 
@@ -334,7 +353,11 @@ def _check_one_variant(
         ))
 
     try:
-        result = WaspCompiler(options).compile(
+        # Translation validation is disabled *inside* the compile and
+        # run explicitly below: the oracle needs the raw verdict (on
+        # the possibly-mutated program) for the static/dynamic
+        # cross-check, not an exception mid-compile.
+        result = WaspCompiler(replace(options, validate=False)).compile(
             kernel.program, num_warps=kernel.launch.num_warps
         )
     except VerificationError as exc:
@@ -369,6 +392,71 @@ def _check_one_variant(
             return  # no applicable site in this variant
         program = mutated
 
+    verdict = _transval_verdict(
+        kernel, program, fail, assume_verified=inject is None
+    )
+    report.transval_verdicts[name] = verdict
+
+    before = len(report.failures)
+    _run_dynamic_checks(
+        kernel, program, result, want, ref_stores, inject, fail
+    )
+    dynamic_failed = len(report.failures) > before
+
+    # Static/dynamic agreement: the validator must never certify a
+    # program the functional oracle rejects, and on clean compiles it
+    # must not reject a program the oracle accepts.  Abstention agrees
+    # with everything — it claims nothing.  (An injected corruption the
+    # validator flags but this input happens to tolerate is the static
+    # side being *stronger*, which is fine.)
+    if verdict == "equivalent" and dynamic_failed:
+        fail(
+            "transval-false-equivalent",
+            "translation validator certified a program the functional "
+            f"oracle rejected ({report.failures[before].check})",
+            program=program,
+        )
+    elif verdict == "not-equivalent" and inject is None and not dynamic_failed:
+        fail(
+            "transval-disagreement",
+            "translation validator rejected a clean compile the "
+            "functional oracle accepted",
+            program=program,
+        )
+
+
+def _transval_verdict(
+    kernel: Kernel, program, fail, *, assume_verified: bool
+) -> str:
+    """Static verdict for one compiled (possibly mutated) variant.
+
+    A validator crash is itself an oracle failure — the certificate
+    machinery must hold up on everything the generator produces.
+    """
+    from repro.analysis.transval import validate_programs
+
+    try:
+        return validate_programs(
+            kernel.program, program, assume_verified=assume_verified
+        ).verdict
+    except ReproError as exc:
+        fail(
+            "transval-crash",
+            f"{type(exc).__name__}: {str(exc)[:300]}",
+            program=program,
+        )
+        return "crash"
+
+
+def _run_dynamic_checks(
+    kernel: Kernel,
+    program,
+    result,
+    want: np.ndarray,
+    ref_stores: int,
+    inject: str | None,
+    fail,
+) -> None:
     launch = replace(
         kernel.launch,
         num_warps=kernel.launch.num_warps * result.num_stages,

@@ -120,6 +120,63 @@ def test_sarif_logical_locations_and_properties():
     assert result["properties"]["instruction"] == "STS R1, R2"
 
 
+def test_every_registered_rule_round_trips_through_the_exporter():
+    """One Diagnostic per catalogue rule (C/Q/D/S/R/T families) must
+    export as a SARIF result whose ruleId, ruleIndex and level all
+    agree with the catalogue entry — no family is special-cased."""
+    assert {r.split("-")[1][0] for r in RULES} == set("CQDSRT")
+    diags = [
+        Diagnostic(rule=rule_id, message=f"probe for {rule_id}",
+                   kernel="k", block="b")
+        for rule_id in sorted(RULES)
+    ]
+    doc = sarif_from_lint(_lint_result(_report(*diags)))
+    run = doc["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    exported = {r["ruleId"] for r in run["results"]}
+    assert exported == set(RULES)
+    levels = {
+        Severity.ERROR: "error",
+        Severity.WARNING: "warning",
+        Severity.INFO: "note",
+    }
+    for result in run["results"]:
+        descriptor = rules[result["ruleIndex"]]
+        assert descriptor["id"] == result["ruleId"]
+        severity, _ = RULES[result["ruleId"]]
+        assert result["level"] == levels[severity]
+        assert (
+            descriptor["defaultConfiguration"]["level"] == levels[severity]
+        )
+
+
+def test_sarif_from_validate_exports_t_rules():
+    from repro.analysis.lint import KernelValidation, ValidateResult
+    from repro.analysis.sarif import sarif_from_validate
+
+    report = _report(Diagnostic(
+        rule="WASP-T002",
+        message="value diverges through queue 1",
+        kernel="k",
+        stage=1,
+        block="s1_loop",
+    ))
+    doc = sarif_from_validate(ValidateResult(
+        scale=0.25,
+        kernels=[KernelValidation(
+            benchmark="bench", kernel="k", depth=4,
+            specialized=True, verdict="not-equivalent", report=report,
+        )],
+    ))
+    run = doc["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-transval"
+    assert [r["id"] for r in run["tool"]["driver"]["rules"]] == sorted(RULES)
+    (result,) = run["results"]
+    assert result["ruleId"] == "WASP-T002"
+    assert result["level"] == "error"
+    json.dumps(doc)
+
+
 # -- deterministic diagnostic ordering -----------------------------------
 
 
@@ -170,7 +227,8 @@ def _fake_lint(monkeypatch, severity: Severity):
     import repro.analysis.lint as lint_module
 
     monkeypatch.setattr(
-        lint_module, "lint_benchmarks", lambda names, scale: result
+        lint_module, "lint_benchmarks",
+        lambda names, scale, validate=False: result,
     )
 
 

@@ -1,0 +1,133 @@
+"""Property tests for the translation validator (Hypothesis).
+
+Two invariances the certificate machinery must have to be trustworthy:
+
+* **Serializer round-trip**: effect summaries — and therefore verdicts
+  — are functions of program *meaning*, so encoding a program through
+  :mod:`repro.isa.serialize` (including a JSON text round-trip) and
+  decoding it back must produce bit-identical summaries.
+* **Normalization**: a :class:`DiagnosticReport` is a set of findings,
+  not a narrative; ``normalized()`` output must not depend on the
+  order diagnostics were discovered in.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.diagnostics import DiagnosticReport
+from repro.analysis.transval import validate_programs
+from repro.analysis.transval.effects import Summary, summarize_program
+from repro.analysis.transval.expr import stable_repr
+from repro.core.compiler import WaspCompiler, WaspCompilerOptions
+from repro.fuzz.generator import build_kernel
+from repro.fuzz.mutate import apply_mutation
+from repro.fuzz.spec import generate_spec
+from repro.isa.serialize import decode_program, encode_program
+
+
+def _round_trip(program):
+    """Serializer round trip through actual JSON text."""
+    return decode_program(json.loads(json.dumps(encode_program(program))))
+
+
+def _fingerprint(summary: Summary) -> tuple:
+    """Order-preserving structural digest of everything matchable."""
+    effects = tuple(
+        (
+            stable_repr(e.addr),
+            stable_repr(e.value),
+            stable_repr(e.guard) if e.guard is not None else None,
+            e.path,
+            e.ring,
+            e.stage,
+        )
+        for e in summary.effects
+    )
+    loops = tuple(
+        (
+            key,
+            info.base,
+            info.path,
+            info.depth,
+            tuple(stable_repr(x) for x in info.rec_inits),
+            tuple(
+                tuple(stable_repr(x) for x in copy)
+                for copy in info.rec_deltas
+            ),
+            tuple(stable_repr(x) for x in info.cont_conds),
+        )
+        for key, info in sorted(summary.loops.items())
+    )
+    abst = tuple(str(a) for a in summary.abstentions)
+    return (summary.side, effects, loops, abst)
+
+
+@functools.lru_cache(maxsize=None)
+def _compiled(seed: int):
+    kernel = build_kernel(generate_spec(seed))
+    result = WaspCompiler(WaspCompilerOptions(
+        enable_tma_offload=False, verify=False, validate=False,
+    )).compile(kernel.program, kernel.launch.num_warps)
+    return kernel.program, result
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=60))
+def test_summaries_invariant_under_serializer_round_trip(seed):
+    source, result = _compiled(seed)
+
+    assert _fingerprint(
+        summarize_program(source, side="source")
+    ) == _fingerprint(
+        summarize_program(_round_trip(source), side="source")
+    )
+
+    if result.specialized:
+        assert _fingerprint(
+            summarize_program(result.program, side="specialized")
+        ) == _fingerprint(
+            summarize_program(
+                _round_trip(result.program), side="specialized"
+            )
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=60))
+def test_verdict_invariant_under_serializer_round_trip(seed):
+    source, result = _compiled(seed)
+    direct = validate_programs(source, result.program)
+    round_tripped = validate_programs(
+        _round_trip(source), _round_trip(result.program)
+    )
+    assert direct.verdict == round_tripped.verdict
+    assert direct.report.rules_fired() == round_tripped.report.rules_fired()
+
+
+@functools.lru_cache(maxsize=None)
+def _mutant_diagnostics() -> tuple:
+    """Diagnostics from a known not-equivalent validation."""
+    source, result = _compiled(2)
+    assert result.specialized
+    mutated = apply_mutation(result.program, "drop-pop")
+    assert mutated is not None
+    report = validate_programs(source, mutated)
+    assert report.verdict == "not-equivalent"
+    assert len(report.report.diagnostics) >= 2
+    return tuple(report.report.diagnostics)
+
+
+@settings(max_examples=30, deadline=None)
+@given(data=st.data())
+def test_normalized_report_invariant_under_shuffling(data):
+    diags = list(_mutant_diagnostics())
+    shuffled = data.draw(st.permutations(diags))
+    baseline = DiagnosticReport(list(diags)).normalized()
+    reordered = DiagnosticReport(list(shuffled)).normalized()
+    assert baseline.diagnostics == reordered.diagnostics
+    assert baseline.rules_fired() == reordered.rules_fired()
